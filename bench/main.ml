@@ -1,0 +1,137 @@
+(* Benchmark & reproduction harness.
+
+   Usage:
+     main.exe                 regenerate every table/figure, then time the kernels
+     main.exe table1 fig2b    regenerate selected experiments only
+     main.exe --timings       run only the Bechamel timing suites
+     main.exe --list          list experiment ids
+
+   Environment: REPRO_SCALE (default 1.0), REPRO_SOURCES (default 192),
+   REPRO_SEED (default 42) — see Broker_experiments.Ctx. *)
+
+module E = Broker_experiments
+
+let silently f =
+  (* Bechamel iterates the experiment kernels; their table output would
+     flood the report, so stdout is parked on /dev/null for the call. *)
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+(* Timing kernels run on a small fixed-scale context so each iteration is
+   milliseconds; the correctness-bearing full-scale run happens above. *)
+let bench_ctx () = E.Ctx.create ~scale:0.02 ~sources:48 ~seed:7 ()
+
+let experiment_tests () =
+  let open Bechamel in
+  List.map
+    (fun (e : E.All.experiment) ->
+      Test.make ~name:e.E.All.id
+        (Staged.stage (fun () ->
+             (* Fresh context per iteration: the timing covers the whole
+                regeneration including topology generation. *)
+             let ctx = bench_ctx () in
+             silently (fun () -> e.E.All.run ctx))))
+    E.All.experiments
+
+let kernel_tests () =
+  let open Bechamel in
+  let ctx = E.Ctx.create ~scale:0.05 ~sources:32 ~seed:11 () in
+  let g = E.Ctx.graph ctx in
+  let n = Broker_graph.Graph.n g in
+  let rng = Broker_util.Xrandom.create 3 in
+  [
+    Test.make ~name:"bfs_full"
+      (Staged.stage (fun () ->
+           ignore (Broker_graph.Bfs.distances g (Broker_util.Xrandom.int rng n))));
+    Test.make ~name:"pagerank"
+      (Staged.stage (fun () -> ignore (Broker_graph.Pagerank.compute ~max_iter:20 g)));
+    Test.make ~name:"kcore"
+      (Staged.stage (fun () -> ignore (Broker_graph.Kcore.coreness g)));
+    Test.make ~name:"celf_k100"
+      (Staged.stage (fun () -> ignore (Broker_core.Greedy_mcb.celf g ~k:100)));
+    Test.make ~name:"maxsg_k100"
+      (Staged.stage (fun () -> ignore (Broker_core.Maxsg.run g ~k:100)));
+    Test.make ~name:"connectivity_32src"
+      (Staged.stage (fun () ->
+           let brokers = Broker_core.Baselines.db g ~k:100 in
+           ignore
+             (Broker_core.Connectivity.sampled ~rng ~sources:32 g
+                ~is_broker:(Broker_core.Connectivity.of_brokers ~n brokers))));
+  ]
+
+let run_timings () =
+  let open Bechamel in
+  let benchmark name tests =
+    Printf.printf "\n-- Bechamel timings: %s --\n%!" name;
+    let instances = [ Toolkit.Instance.monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~stabilize:false ()
+    in
+    let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    let rows = Hashtbl.fold (fun key v acc -> (key, v) :: acc) results [] in
+    List.iter
+      (fun (key, result) ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> Printf.printf "%-44s %12.3f ms/run\n" key (est /. 1e6)
+        | Some _ | None -> Printf.printf "%-44s (no estimate)\n" key)
+      (List.sort compare rows)
+  in
+  benchmark "tables_and_figures" (experiment_tests ());
+  benchmark "kernels" (kernel_tests ())
+
+let () =
+  (* REPRO_LOG=info|debug enables library progress logging on stderr. *)
+  (match Sys.getenv_opt "REPRO_LOG" with
+  | Some level ->
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level
+        (match String.lowercase_ascii level with
+        | "debug" -> Some Logs.Debug
+        | "warning" -> Some Logs.Warning
+        | _ -> Some Logs.Info)
+  | None -> ());
+  let args = List.tl (Array.to_list Sys.argv) in
+  let flags, ids =
+    List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args
+  in
+  let has f = List.mem f flags in
+  if has "--list" then
+    List.iter
+      (fun (e : E.All.experiment) ->
+        Printf.printf "%-18s %s\n" e.E.All.id e.E.All.description)
+      E.All.experiments
+  else begin
+    let timings_only = has "--timings" in
+    if not timings_only then begin
+      let ctx = E.Ctx.from_env () in
+      Printf.printf
+        "Reproduction run: scale=%.3g sources=%d seed=%d (%d experiments)\n%!"
+        (E.Ctx.scale ctx) (E.Ctx.sources ctx) (E.Ctx.seed ctx)
+        (List.length E.All.experiments);
+      match ids with
+      | [] -> E.All.run_all ctx
+      | ids ->
+          List.iter
+            (fun id ->
+              match E.All.run_one ctx id with
+              | Ok () -> ()
+              | Error msg ->
+                  prerr_endline msg;
+                  exit 2)
+            ids
+    end;
+    if timings_only || ids = [] then run_timings ()
+  end

@@ -1,0 +1,321 @@
+(* brokerctl — command-line driver for the broker-set library.
+
+   Subcommands:
+     generate    synthesize an AS+IXP topology and save it
+     summary     Table-2 style summary of a saved topology
+     select      run a broker-selection algorithm on a saved topology
+     evaluate    l-hop connectivity of a broker set
+     export-dot  write a renderable DOT sample
+     experiment  run one of the paper reproductions *)
+
+open Cmdliner
+
+let topo_arg =
+  let doc = "Topology file (produced by $(b,generate))." in
+  Arg.(required & opt (some string) None & info [ "t"; "topology" ] ~doc)
+
+let seed_arg =
+  let doc = "Deterministic seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~doc)
+
+let scale_arg =
+  let doc = "Scale factor in (0,1] relative to the paper's 52,079 nodes." in
+  Arg.(value & opt float 0.1 & info [ "scale" ] ~doc)
+
+let load path =
+  try Ok (Broker_topo.Dataset.load ~path)
+  with Sys_error msg | Failure msg -> Error msg
+
+(* generate *)
+let generate scale seed out =
+  let params =
+    if scale >= 1.0 then { Broker_topo.Internet.default with seed }
+    else { (Broker_topo.Internet.scaled scale) with seed }
+  in
+  let topo = Broker_topo.Internet.generate params in
+  Broker_topo.Dataset.save ~path:out topo;
+  Format.printf "%a@." Broker_topo.Dataset.pp_summary
+    (Broker_topo.Dataset.summarize topo);
+  Printf.printf "saved to %s\n" out
+
+let generate_cmd =
+  let out =
+    Arg.(value & opt string "topology.txt" & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesize an AS+IXP topology")
+    Term.(const generate $ scale_arg $ seed_arg $ out)
+
+(* summary *)
+let summary path =
+  match load path with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok topo ->
+      Format.printf "%a@." Broker_topo.Dataset.pp_summary
+        (Broker_topo.Dataset.summarize topo)
+
+let summary_cmd =
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Summarize a topology (Table 2 rows)")
+    Term.(const summary $ topo_arg)
+
+(* select *)
+let algo_arg =
+  let alts = [ "maxsg"; "greedy"; "mcbg"; "db"; "prb"; "ixpb"; "tier1"; "sc" ] in
+  let doc = Printf.sprintf "Selection algorithm: %s." (String.concat ", " alts) in
+  Arg.(value & opt (enum (List.map (fun a -> (a, a)) alts)) "maxsg" & info [ "a"; "algorithm" ] ~doc)
+
+let k_arg =
+  let doc = "Broker budget k." in
+  Arg.(value & opt int 100 & info [ "k" ] ~doc)
+
+let select_brokers topo algo k seed =
+  let g = topo.Broker_topo.Topology.graph in
+  match algo with
+  | "maxsg" -> Broker_core.Maxsg.run g ~k
+  | "greedy" -> Broker_core.Greedy_mcb.celf g ~k
+  | "mcbg" -> (Broker_core.Mcbg.run ~all_roots:false g ~k ~beta:4).Broker_core.Mcbg.brokers
+  | "db" -> Broker_core.Baselines.db g ~k
+  | "prb" -> Broker_core.Baselines.prb g ~k
+  | "ixpb" -> Broker_core.Baselines.ixpb topo ~min_degree:0
+  | "tier1" -> Broker_core.Baselines.tier1_only topo
+  | "sc" -> Broker_core.Baselines.set_cover ~rng:(Broker_util.Xrandom.create seed) g
+  | _ -> assert false
+
+let select path algo k seed out =
+  match load path with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok topo ->
+      let brokers = select_brokers topo algo k seed in
+      let oc = open_out out in
+      Array.iter (fun b -> Printf.fprintf oc "%d\n" b) brokers;
+      close_out oc;
+      let cov = Broker_core.Coverage.create topo.Broker_topo.Topology.graph in
+      Array.iter (Broker_core.Coverage.add cov) brokers;
+      Printf.printf "%d brokers -> coverage f(B) = %d (%.2f%% of nodes); saved to %s\n"
+        (Array.length brokers) (Broker_core.Coverage.f cov)
+        (100.0 *. Broker_core.Coverage.coverage_fraction cov)
+        out
+
+let select_cmd =
+  let out =
+    Arg.(value & opt string "brokers.txt" & info [ "o"; "output" ] ~doc:"Broker list output file.")
+  in
+  Cmd.v
+    (Cmd.info "select" ~doc:"Select a broker set")
+    Term.(const select $ topo_arg $ algo_arg $ k_arg $ seed_arg $ out)
+
+(* evaluate *)
+let read_brokers path =
+  let ic = open_in path in
+  let acc = ref [] in
+  (try
+     while true do
+       acc := int_of_string (String.trim (input_line ic)) :: !acc
+     done
+   with End_of_file -> close_in ic);
+  Array.of_list (List.rev !acc)
+
+let evaluate path brokers_path sources seed =
+  match load path with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok topo ->
+      let g = topo.Broker_topo.Topology.graph in
+      let brokers = read_brokers brokers_path in
+      let n = Broker_graph.Graph.n g in
+      let curve =
+        Broker_core.Connectivity.sampled ~l_max:8
+          ~rng:(Broker_util.Xrandom.create seed)
+          ~sources g
+          ~is_broker:(Broker_core.Connectivity.of_brokers ~n brokers)
+      in
+      for l = 1 to 8 do
+        Printf.printf "l=%d  %.2f%%\n" l
+          (100.0 *. Broker_core.Connectivity.value_at curve l)
+      done;
+      Printf.printf "saturated  %.2f%%\n"
+        (100.0 *. curve.Broker_core.Connectivity.saturated)
+
+let evaluate_cmd =
+  let brokers =
+    Arg.(required & opt (some string) None & info [ "b"; "brokers" ] ~doc:"Broker list file.")
+  in
+  let sources =
+    Arg.(value & opt int 192 & info [ "sources" ] ~doc:"BFS source sample size.")
+  in
+  Cmd.v
+    (Cmd.info "evaluate" ~doc:"l-hop E2E connectivity of a broker set")
+    Term.(const evaluate $ topo_arg $ brokers $ sources $ seed_arg)
+
+(* export-dot *)
+let export_dot path out max_vertices =
+  match load path with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok topo ->
+      let attrs v =
+        if Broker_topo.Topology.is_ixp topo v then [ ("color", "red") ] else []
+      in
+      Broker_graph.Dot.write_file ~path:out
+        (Broker_graph.Dot.to_dot ~vertex_attrs:attrs ~max_vertices
+           topo.Broker_topo.Topology.graph);
+      Printf.printf "wrote %s\n" out
+
+let export_dot_cmd =
+  let out = Arg.(value & opt string "topology.dot" & info [ "o"; "output" ] ~doc:"DOT output.") in
+  let mv = Arg.(value & opt int 2000 & info [ "max-vertices" ] ~doc:"Keep the k highest-degree vertices.") in
+  Cmd.v
+    (Cmd.info "export-dot" ~doc:"Export a renderable DOT sample")
+    Term.(const export_dot $ topo_arg $ out $ mv)
+
+(* simulate *)
+let simulate path brokers_path n_sessions capacity_factor seed =
+  match load path with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok topo ->
+      let g = topo.Broker_topo.Topology.graph in
+      let brokers = read_brokers brokers_path in
+      let rng = Broker_util.Xrandom.create seed in
+      let model = Broker_core.Traffic.gravity ~rng g in
+      let sessions =
+        Broker_sim.Workload.generate ~rng model ~n_sessions
+          Broker_sim.Workload.default_params
+      in
+      let config = Broker_sim.Simulator.degree_capacity g ~factor:capacity_factor in
+      let s = Broker_sim.Simulator.run topo ~brokers ~sessions config in
+      Printf.printf "offered             %d\n" s.Broker_sim.Simulator.offered;
+      Printf.printf "admitted            %d (%.2f%%)\n" s.Broker_sim.Simulator.admitted
+        (100.0 *. s.Broker_sim.Simulator.admission_rate);
+      Printf.printf "rejected: no path   %d\n" s.Broker_sim.Simulator.rejected_no_path;
+      Printf.printf "rejected: capacity  %d\n" s.Broker_sim.Simulator.rejected_capacity;
+      Printf.printf "mean hops           %.2f\n" s.Broker_sim.Simulator.mean_hops;
+      Printf.printf "employee-hop share  %.2f%%\n"
+        (100.0 *. s.Broker_sim.Simulator.employee_hop_fraction);
+      Printf.printf "mean utilization    %.2f%%\n"
+        (100.0 *. s.Broker_sim.Simulator.mean_broker_utilization);
+      Printf.printf "net revenue         %.1f\n" s.Broker_sim.Simulator.revenue
+
+let simulate_cmd =
+  let brokers =
+    Arg.(required & opt (some string) None & info [ "b"; "brokers" ] ~doc:"Broker list file.")
+  in
+  let sessions =
+    Arg.(value & opt int 5000 & info [ "sessions" ] ~doc:"Number of QoS sessions.")
+  in
+  let factor =
+    Arg.(value & opt float 0.2 & info [ "capacity-factor" ] ~doc:"Broker capacity per unit degree.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Flow-level brokerage simulation with admission control")
+    Term.(const simulate $ topo_arg $ brokers $ sessions $ factor $ seed_arg)
+
+(* resilience *)
+let resilience path brokers_path sources seed =
+  match load path with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok topo ->
+      let g = topo.Broker_topo.Topology.graph in
+      let brokers = read_brokers brokers_path in
+      let fractions = [ 0.0; 0.05; 0.1; 0.2; 0.4 ] in
+      List.iter
+        (fun model ->
+          let name =
+            match model with
+            | Broker_core.Resilience.Random -> "random"
+            | Broker_core.Resilience.Targeted -> "targeted"
+          in
+          let points =
+            Broker_core.Resilience.degradation
+              ~rng:(Broker_util.Xrandom.create seed)
+              ~sources g ~brokers ~model ~fractions
+          in
+          List.iter
+            (fun (p : Broker_core.Resilience.point) ->
+              Printf.printf "%-9s failed=%3d (%.0f%%)  connectivity=%.2f%%\n" name
+                p.Broker_core.Resilience.failed
+                (100.0 *. p.Broker_core.Resilience.failed_fraction)
+                (100.0 *. p.Broker_core.Resilience.connectivity))
+            points)
+        [ Broker_core.Resilience.Random; Broker_core.Resilience.Targeted ]
+
+let resilience_cmd =
+  let brokers =
+    Arg.(required & opt (some string) None & info [ "b"; "brokers" ] ~doc:"Broker list file.")
+  in
+  let sources =
+    Arg.(value & opt int 96 & info [ "sources" ] ~doc:"BFS source sample size.")
+  in
+  Cmd.v
+    (Cmd.info "resilience" ~doc:"Broker failure degradation sweep")
+    Term.(const resilience $ topo_arg $ brokers $ sources $ seed_arg)
+
+(* bgp-stats *)
+let bgp_stats path destinations seed =
+  match load path with
+  | Error msg ->
+      prerr_endline msg;
+      exit 1
+  | Ok topo ->
+      let rng = Broker_util.Xrandom.create seed in
+      Printf.printf "policy-compliant reachability: %.2f%%\n"
+        (100.0 *. Broker_routing.Bgp.reachable_fraction ~rng ~destinations topo);
+      let rng = Broker_util.Xrandom.create seed in
+      Printf.printf "mean BGP path length:          %.2f hops\n"
+        (Broker_routing.Bgp.average_path_length ~rng ~destinations topo)
+
+let bgp_stats_cmd =
+  let destinations =
+    Arg.(value & opt int 32 & info [ "destinations" ] ~doc:"Sampled destination ASes.")
+  in
+  Cmd.v
+    (Cmd.info "bgp-stats" ~doc:"Valley-free BGP reachability and path lengths")
+    Term.(const bgp_stats $ topo_arg $ destinations $ seed_arg)
+
+(* experiment *)
+let experiment id =
+  let ctx = Broker_experiments.Ctx.from_env () in
+  match Broker_experiments.All.run_one ctx id with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline msg;
+      exit 2
+
+let experiment_cmd =
+  let id =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id, e.g. table1.")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Run a paper reproduction (env: REPRO_SCALE, REPRO_SOURCES, REPRO_SEED)")
+    Term.(const experiment $ id)
+
+let () =
+  let info =
+    Cmd.info "brokerctl" ~version:"1.0.0"
+      ~doc:"Inter-domain routing via a small broker set - reproduction toolkit"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            summary_cmd;
+            select_cmd;
+            evaluate_cmd;
+            export_dot_cmd;
+            simulate_cmd;
+            resilience_cmd;
+            bgp_stats_cmd;
+            experiment_cmd;
+          ]))

@@ -1,0 +1,87 @@
+(* ISP alliance planning: how large must a brokerage coalition grow, who
+   should be in it, and when do new members stop paying for themselves?
+
+   This is the workload the paper's introduction motivates: a consortium
+   wants E2E QoS guarantees for most connections with as few members as
+   possible, while respecting business reality (valley-free routing).
+
+   Run with:  dune exec examples/isp_alliance.exe *)
+
+let () =
+  let params = { (Broker_topo.Internet.scaled 0.08) with seed = 5 } in
+  let topo = Broker_topo.Internet.generate params in
+  let g = topo.Broker_topo.Topology.graph in
+  let n = Broker_graph.Graph.n g in
+  Printf.printf "Planning an alliance over %d ASes/IXPs\n\n" n;
+
+  (* Grow the alliance to saturation and show the coverage trajectory. *)
+  let order = Broker_core.Maxsg.run_to_saturation g in
+  let curve = Broker_core.Maxsg.coverage_curve g order in
+  Printf.printf "%-10s %-12s %s\n" "members" "coverage" "marginal";
+  let last = ref 0 in
+  Array.iter
+    (fun (size, f) ->
+      if size land (size - 1) = 0 || size = Array.length order then begin
+        (* powers of two + final *)
+        Printf.printf "%-10d %5.1f%%      +%d nodes since last row\n" size
+          (100.0 *. float_of_int f /. float_of_int n)
+          (f - !last);
+        last := f
+      end)
+    curve;
+  Printf.printf "\nFull domination reached with %d members (paper: 3,540 of 52,079 = 6.8%%)\n\n"
+    (Array.length order);
+
+  (* Composition: who are these members? *)
+  let shares = Broker_core.Composition.shares topo ~brokers:order in
+  List.iter
+    (fun (s : Broker_core.Composition.share) ->
+      Printf.printf "  %-12s %4d members (%.1f%%)\n"
+        (Broker_topo.Node_meta.kind_to_string s.Broker_core.Composition.kind)
+        s.Broker_core.Composition.count
+        (100.0 *. s.Broker_core.Composition.fraction))
+    shares;
+
+  (* Business reality check: what do the guarantees look like under
+     valley-free routing, and how much do internal mutual-transit
+     agreements recover? *)
+  let k = min 150 (Array.length order) in
+  let members = Array.sub order 0 k in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n members in
+  let rng = Broker_util.Xrandom.create 9 in
+  let source_set = Broker_util.Sampling.without_replacement rng ~n ~k:96 in
+  let directional =
+    Broker_core.Directional.saturated_sampled ~source_set ~rng ~sources:96 topo
+      ~is_broker
+  in
+  let upgrades =
+    Broker_core.Directional.upgrade_broker_edges ~rng topo ~brokers:members
+      ~fraction:0.3
+  in
+  let upgraded =
+    Broker_core.Directional.saturated_sampled ~upgrades ~source_set ~rng
+      ~sources:96 topo ~is_broker
+  in
+  Printf.printf
+    "\nWith %d members under valley-free routing: %.1f%% connectivity\n" k
+    (100.0 *. directional);
+  Printf.printf
+    "After upgrading 30%% of inter-member links to mutual transit: %.1f%%\n"
+    (100.0 *. upgraded);
+
+  (* Economics: marginal value of members under pair-coverage revenue. *)
+  let values =
+    let cov = Broker_core.Coverage.create g in
+    Array.map
+      (fun b ->
+        Broker_core.Coverage.add cov b;
+        let f = float_of_int (Broker_core.Coverage.f cov) /. float_of_int n in
+        f *. f)
+      order
+  in
+  match Broker_econ.Coalition.supermodularity_break values with
+  | Some i ->
+      Printf.printf
+        "\nMarginal (pair-coverage) revenue starts decaying at member #%d: new joiners beyond\nthis point contribute less than their predecessors - the natural alliance size.\n"
+        (i + 1)
+  | None -> Printf.printf "\nMarginal revenue never decayed.\n"

@@ -1,0 +1,82 @@
+(* QoS brokerage in operation: a capacity-planning study for the broker
+   coalition. How much forwarding capacity must brokers provision so that
+   (say) 99% of QoS sessions are admitted, and what latency penalty do
+   customers pay for the guarantee?
+
+   Run with:  dune exec examples/qos_brokerage.exe *)
+
+let () =
+  let params = { (Broker_topo.Internet.scaled 0.04) with seed = 17 } in
+  let topo = Broker_topo.Internet.generate params in
+  let g = topo.Broker_topo.Topology.graph in
+  let n = Broker_graph.Graph.n g in
+  let brokers = Broker_core.Maxsg.run g ~k:(n / 25) in
+  Printf.printf "Topology: %d nodes; broker mesh: %d members\n\n" n
+    (Array.length brokers);
+
+  (* A day of QoS sessions with gravity-model endpoints. *)
+  let rng = Broker_util.Xrandom.create 99 in
+  let model = Broker_core.Traffic.gravity ~rng g in
+  let sessions =
+    Broker_sim.Workload.generate ~rng model ~n_sessions:12_000
+      { Broker_sim.Workload.default_params with arrival_rate = 20.0 }
+  in
+
+  (* Sweep the provisioning factor until the admission target is met. *)
+  Printf.printf "%-18s %-12s %-12s %-14s %s\n" "capacity factor" "admitted"
+    "blocked" "utilization" "net revenue";
+  let target = 0.99 in
+  let met = ref None in
+  List.iter
+    (fun factor ->
+      let config = Broker_sim.Simulator.degree_capacity g ~factor in
+      let s = Broker_sim.Simulator.run topo ~brokers ~sessions config in
+      Printf.printf "%-18.2f %-12s %-12d %-14s %.0f\n" factor
+        (Printf.sprintf "%.2f%%" (100.0 *. s.Broker_sim.Simulator.admission_rate))
+        s.Broker_sim.Simulator.rejected_capacity
+        (Printf.sprintf "%.1f%%"
+           (100.0 *. s.Broker_sim.Simulator.mean_broker_utilization))
+        s.Broker_sim.Simulator.revenue;
+      if !met = None && s.Broker_sim.Simulator.admission_rate >= target then
+        met := Some factor)
+    [ 0.02; 0.05; 0.1; 0.2; 0.4 ];
+  (match !met with
+  | Some f ->
+      Printf.printf "\n-> provisioning factor %.2f suffices for %.0f%% admission.\n" f
+        (100.0 *. target)
+  | None -> Printf.printf "\n-> admission target not met in the sweep; provision more.\n");
+
+  (* The latency cost of the guarantee. *)
+  let lat = Broker_routing.Latency.assign ~rng topo in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  let stretches = ref [] in
+  for _ = 1 to 400 do
+    let src = Broker_util.Xrandom.int rng n and dst = Broker_util.Xrandom.int rng n in
+    if src <> dst then
+      match Broker_routing.Latency.stretch lat topo ~is_broker ~src ~dst with
+      | Some s -> stretches := s :: !stretches
+      | None -> ()
+  done;
+  let arr = Array.of_list !stretches in
+  let s = Broker_util.Stats.summarize arr in
+  Printf.printf
+    "\nLatency stretch of QoS paths vs unconstrained min-latency paths (%d pairs):\n"
+    s.Broker_util.Stats.n;
+  Printf.printf "  median %.3fx, mean %.3fx, p90 %.3fx, worst %.3fx\n"
+    s.Broker_util.Stats.p50 s.Broker_util.Stats.mean s.Broker_util.Stats.p90
+    s.Broker_util.Stats.max;
+
+  (* One concrete session, end to end. *)
+  let sample = sessions.(0) in
+  (match
+     Broker_routing.Latency.min_latency_path lat topo ~is_broker
+       ~src:sample.Broker_sim.Workload.src ~dst:sample.Broker_sim.Workload.dst
+   with
+  | Some (path, ms) ->
+      Printf.printf "\nSample QoS session %s -> %s: %d hops, %.1f ms via\n  %s\n"
+        topo.Broker_topo.Topology.names.(sample.Broker_sim.Workload.src)
+        topo.Broker_topo.Topology.names.(sample.Broker_sim.Workload.dst)
+        (List.length path - 1) ms
+        (String.concat " -> "
+           (List.map (fun v -> topo.Broker_topo.Topology.names.(v)) path))
+  | None -> Printf.printf "\nSample session has no dominated path.\n")

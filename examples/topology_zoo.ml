@@ -1,0 +1,47 @@
+(* Topology zoo: why broker sets work on the Internet but not on arbitrary
+   graphs. Compares how fast a MaxSG broker set's connectivity grows on
+   ER-random, WS-small-world, BA-scale-free and Internet-like topologies
+   with the same node/edge budget.
+
+   Run with:  dune exec examples/topology_zoo.exe *)
+
+let evaluate name g =
+  let n = Broker_graph.Graph.n g in
+  let rng = Broker_util.Xrandom.create 13 in
+  let source_set = Broker_util.Sampling.without_replacement rng ~n ~k:(min 96 n) in
+  let order = Broker_core.Maxsg.run_to_saturation g in
+  Printf.printf "%-16s saturation at %4d brokers (%.1f%% of nodes)\n" name
+    (Array.length order)
+    (100.0 *. float_of_int (Array.length order) /. float_of_int n);
+  List.iter
+    (fun k ->
+      if k <= Array.length order then begin
+        let brokers = Array.sub order 0 k in
+        let sat =
+          (Broker_core.Connectivity.sampled ~l_max:1 ~source_set ~rng
+             ~sources:(Array.length source_set) g
+             ~is_broker:(Broker_core.Connectivity.of_brokers ~n brokers))
+            .Broker_core.Connectivity.saturated
+        in
+        Printf.printf "    k=%-5d -> %.1f%% E2E connectivity\n" k (100.0 *. sat)
+      end)
+    [ 10; 50; 100; 200 ];
+  Printf.printf "\n"
+
+let () =
+  let params = { (Broker_topo.Internet.scaled 0.06) with seed = 3 } in
+  let topo = Broker_topo.Internet.generate params in
+  let g = topo.Broker_topo.Topology.graph in
+  let n = Broker_graph.Graph.n g and m = Broker_graph.Graph.m g in
+  Printf.printf "All topologies: %d nodes, ~%d edges\n\n" n m;
+  let rng = Broker_util.Xrandom.create 4 in
+  evaluate "Internet (AS+IXP)" g;
+  evaluate "ER-Random" (Broker_topo.Classic.erdos_renyi ~rng ~n ~m);
+  let k = max 2 (2 * m / n land lnot 1) in
+  evaluate "WS-Small-World" (Broker_topo.Classic.watts_strogatz ~rng ~n ~k ~beta:0.1);
+  evaluate "BA-Scale-free"
+    (Broker_topo.Classic.barabasi_albert ~rng ~n ~m:(max 1 (m / n)));
+  Printf.printf
+    "The heavy-tailed Internet graph needs far fewer brokers for the same\n\
+     coverage than homogeneous random graphs - the structural fact the\n\
+     paper's small-broker-set thesis rests on.\n"

@@ -1,0 +1,58 @@
+module G = Broker_graph.Graph
+
+let order_by_score g score =
+  let idx = Array.init (G.n g) (fun i -> i) in
+  (* Stable by id on ties: compare scores descending, then ids ascending. *)
+  Array.sort
+    (fun a b ->
+      let c = compare (score b) (score a) in
+      if c <> 0 then c else compare a b)
+    idx;
+  idx
+
+let degree_order g = order_by_score g (fun v -> float_of_int (G.degree g v))
+
+let db g ~k =
+  let order = degree_order g in
+  Array.sub order 0 (min k (Array.length order))
+
+let pagerank_order g =
+  let rank = Broker_graph.Pagerank.compute g in
+  order_by_score g (fun v -> rank.(v))
+
+let prb g ~k =
+  let order = pagerank_order g in
+  Array.sub order 0 (min k (Array.length order))
+
+let set_cover ~rng g =
+  let n = G.n g in
+  let dominated = Array.make n false in
+  let perm = Broker_util.Xrandom.permutation rng n in
+  let brokers = ref [] in
+  Array.iter
+    (fun v ->
+      if not dominated.(v) then begin
+        brokers := v :: !brokers;
+        dominated.(v) <- true;
+        G.iter_neighbors g v (fun w -> dominated.(w) <- true)
+      end)
+    perm;
+  Array.of_list (List.rev !brokers)
+
+let ixpb topo ~min_degree =
+  let g = topo.Broker_topo.Topology.graph in
+  let ixps = Broker_topo.Topology.ixps topo in
+  let selected =
+    Array.to_list ixps
+    |> List.filter (fun v -> G.degree g v >= min_degree)
+  in
+  (* Highest-degree IXPs first, mirroring the other rankings. *)
+  let arr = Array.of_list selected in
+  Array.sort
+    (fun a b ->
+      let c = compare (G.degree g b) (G.degree g a) in
+      if c <> 0 then c else compare a b)
+    arr;
+  arr
+
+let tier1_only topo = Broker_topo.Topology.tier1_members topo

@@ -1,0 +1,126 @@
+module G = Broker_graph.Graph
+module Heap = Broker_util.Heap
+module Bitset = Broker_util.Bitset
+
+(* Bounded BFS visiting the r-ball of [v]; calls [f] on each ball member
+   (including v). Reuses scratch arrays across calls. *)
+let ball_iter g ~radius ~dist ~queue v f =
+  let head = ref 0 and tail = ref 0 in
+  let visited = ref [] in
+  let push u d =
+    dist.(u) <- d;
+    visited := u :: !visited;
+    queue.(!tail) <- u;
+    incr tail
+  in
+  push v 0;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    f u;
+    if dist.(u) < radius then
+      G.iter_neighbors g u (fun w -> if dist.(w) < 0 then push w (dist.(u) + 1))
+  done;
+  List.iter (fun u -> dist.(u) <- -1) !visited
+
+let covered_within g ~brokers ~radius =
+  let n = G.n g in
+  let covered = Bitset.create n in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  Array.iter
+    (fun b -> ball_iter g ~radius ~dist ~queue b (fun u -> Bitset.add covered u))
+    brokers;
+  Bitset.cardinal covered
+
+let run g ~k ~radius =
+  if radius < 1 then invalid_arg "Bounded_coverage.run: radius >= 1";
+  let n = G.n g in
+  if n = 0 || k <= 0 then [||]
+  else begin
+    let dist = Array.make n (-1) in
+    let queue = Array.make n 0 in
+    let covered = Bitset.create n in
+    (* Dominated region (1-hop coverage) constrains candidacy, as in
+       MaxSG, so the result keeps the mutual-domination guarantee. *)
+    let dominated = Bitset.create n in
+    let brokers = ref [] in
+    let n_brokers = ref 0 in
+    let is_broker = Bitset.create n in
+    let gain v =
+      let acc = ref 0 in
+      ball_iter g ~radius ~dist ~queue v (fun u ->
+          if not (Bitset.mem covered u) then incr acc);
+      !acc
+    in
+    let heap = Heap.create ~initial_capacity:256 Heap.Max in
+    let cached = Array.make n (-1) in
+    let enqueued = Array.make n false in
+    let priority gain v =
+      (float_of_int gain *. float_of_int (n + 1)) +. float_of_int (n - v)
+    in
+    let enqueue v =
+      if (not enqueued.(v)) && not (Bitset.mem is_broker v) then begin
+        enqueued.(v) <- true;
+        let gn = gain v in
+        cached.(v) <- gn;
+        if gn > 0 then Heap.push heap ~priority:(priority gn v) v
+      end
+    in
+    let add v =
+      Bitset.add is_broker v;
+      brokers := v :: !brokers;
+      incr n_brokers;
+      ball_iter g ~radius ~dist ~queue v (fun u -> Bitset.add covered u);
+      if not (Bitset.mem dominated v) then begin
+        Bitset.add dominated v;
+        enqueue v
+      end;
+      G.iter_neighbors g v (fun w ->
+          if not (Bitset.mem dominated w) then begin
+            Bitset.add dominated w;
+            enqueue w
+          end
+          else enqueue w)
+    in
+    (* Seed: maximum-degree vertex. *)
+    let seed = ref 0 in
+    for v = 1 to n - 1 do
+      if G.degree g v > G.degree g !seed then seed := v
+    done;
+    add !seed;
+    let continue = ref true in
+    while !continue && !n_brokers < k do
+      match Heap.pop heap with
+      | None -> continue := false
+      | Some (_, v) ->
+          if not (Bitset.mem is_broker v) then begin
+            let fresh = gain v in
+            if fresh = cached.(v) then begin
+              if fresh = 0 then continue := false else add v
+            end
+            else begin
+              cached.(v) <- fresh;
+              if fresh > 0 then Heap.push heap ~priority:(priority fresh v) v
+            end
+          end
+    done;
+    (* Densify: leftover budget goes to dominated-region coverage picks,
+       preserving the mutual-domination property. *)
+    if !n_brokers < k then begin
+      let cov = Coverage.create g in
+      List.iter (fun v -> Coverage.add cov v) (List.rev !brokers);
+      Maxsg.grow cov ~k;
+      Coverage.brokers cov
+    end
+    else begin
+      let out = Array.make !n_brokers 0 in
+      let i = ref (!n_brokers - 1) in
+      List.iter
+        (fun v ->
+          out.(!i) <- v;
+          decr i)
+        !brokers;
+      out
+    end
+  end

@@ -1,0 +1,47 @@
+module T = Broker_topo.Topology
+module Nm = Broker_topo.Node_meta
+
+type share = { kind : Nm.kind; count : int; fraction : float }
+
+let shares topo ~brokers =
+  let total = Array.length brokers in
+  let count_of kind =
+    Array.fold_left
+      (fun acc v -> if Nm.kind_equal topo.T.kinds.(v) kind then acc + 1 else acc)
+      0 brokers
+  in
+  Nm.all_kinds
+  |> List.filter_map (fun kind ->
+         let count = count_of kind in
+         if count = 0 then None
+         else
+           Some
+             {
+               kind;
+               count;
+               fraction =
+                 (if total = 0 then 0.0
+                  else float_of_int count /. float_of_int total);
+             })
+  |> List.sort (fun a b -> compare b.count a.count)
+
+type ranked = { rank : int; node : int; kind : Nm.kind; name : string; degree : int }
+
+let ranking topo ~brokers =
+  Array.mapi
+    (fun i v ->
+      {
+        rank = i + 1;
+        node = v;
+        kind = topo.T.kinds.(v);
+        name = topo.T.names.(v);
+        degree = Broker_graph.Graph.degree topo.T.graph v;
+      })
+    brokers
+
+let first_ixp_ranks topo ~brokers =
+  let acc = ref [] in
+  Array.iteri
+    (fun i v -> if T.is_ixp topo v then acc := (i + 1) :: !acc)
+    brokers;
+  List.rev !acc

@@ -1,0 +1,17 @@
+(** Broker-set composition analysis — Fig. 5a (kind shares of the alliance)
+    and Table 5 (example brokers with ranks). *)
+
+type share = { kind : Broker_topo.Node_meta.kind; count : int; fraction : float }
+
+val shares : Broker_topo.Topology.t -> brokers:int array -> share list
+(** One entry per kind present in the broker set, largest first. *)
+
+type ranked = { rank : int; node : int; kind : Broker_topo.Node_meta.kind; name : string; degree : int }
+
+val ranking : Broker_topo.Topology.t -> brokers:int array -> ranked array
+(** Brokers with their selection rank (selection order = rank, as the greedy
+    algorithms emit most valuable first). *)
+
+val first_ixp_ranks : Broker_topo.Topology.t -> brokers:int array -> int list
+(** Selection ranks at which IXPs appear (Table 5 highlights how early IXPs
+    are picked). *)

@@ -1,0 +1,81 @@
+module G = Broker_graph.Graph
+module Bfs = Broker_graph.Bfs
+
+type curve = { l_max : int; per_hop : float array; saturated : float }
+
+let value_at c l =
+  if l <= 0 then 0.0 else if l > c.l_max then c.saturated else c.per_hop.(l)
+
+let unrestricted = fun _ -> true
+
+let of_brokers ~n brokers =
+  let set = Broker_util.Bitset.create n in
+  Array.iter (Broker_util.Bitset.add set) brokers;
+  fun v -> Broker_util.Bitset.mem set v
+
+let edge_ok ~is_broker u v = is_broker u || is_broker v
+
+(* Per-chunk accumulator of the source-parallel evaluation. *)
+type acc = { hist : int array; mutable reached : int; mutable total : int }
+
+let eval ~l_max g ~is_broker sources =
+  let n = G.n g in
+  if n < 2 then { l_max; per_hop = Array.make (l_max + 1) 0.0; saturated = 0.0 }
+  else begin
+    let edge_ok = edge_ok ~is_broker in
+    (* Sources are independent BFS runs over the immutable graph: fan out
+       over domains; merging histograms in chunk order keeps the result
+       identical to the sequential run. *)
+    let worker ~lo ~hi =
+      let a = { hist = Array.make (l_max + 1) 0; reached = 0; total = 0 } in
+      for i = lo to hi - 1 do
+        let dist = Bfs.distances_filtered g ~edge_ok sources.(i) in
+        Array.iter
+          (fun d ->
+            if d > 0 then begin
+              a.reached <- a.reached + 1;
+              if d <= l_max then a.hist.(d) <- a.hist.(d) + 1
+            end)
+          dist;
+        a.total <- a.total + (n - 1)
+      done;
+      a
+    in
+    let merge x y =
+      Array.iteri (fun i v -> x.hist.(i) <- x.hist.(i) + v) y.hist;
+      x.reached <- x.reached + y.reached;
+      x.total <- x.total + y.total;
+      x
+    in
+    let a =
+      Broker_util.Parallel.chunked ~n:(Array.length sources) ~worker ~merge
+        { hist = Array.make (l_max + 1) 0; reached = 0; total = 0 }
+    in
+    let ftotal = float_of_int (max 1 a.total) in
+    let per_hop = Array.make (l_max + 1) 0.0 in
+    let acc = ref 0 in
+    for l = 1 to l_max do
+      acc := !acc + a.hist.(l);
+      per_hop.(l) <- float_of_int !acc /. ftotal
+    done;
+    { l_max; per_hop; saturated = float_of_int a.reached /. ftotal }
+  end
+
+let eval_sources ?(l_max = 10) g ~is_broker sources = eval ~l_max g ~is_broker sources
+
+let exact ?(l_max = 10) g ~is_broker =
+  eval ~l_max g ~is_broker (Array.init (G.n g) (fun i -> i))
+
+let sampled ?(l_max = 10) ?source_set ~rng ~sources g ~is_broker =
+  let srcs =
+    match source_set with
+    | Some s -> s
+    | None ->
+        let n = G.n g in
+        let k = min sources n in
+        Broker_util.Sampling.without_replacement rng ~n ~k
+  in
+  eval ~l_max g ~is_broker srcs
+
+let saturated_sampled ~rng ~sources g ~is_broker =
+  (sampled ~l_max:1 ~rng ~sources g ~is_broker).saturated

@@ -1,0 +1,66 @@
+module G = Broker_graph.Graph
+module Bitset = Broker_util.Bitset
+
+type t = {
+  graph : G.t;
+  broker : Bitset.t;
+  covered_set : Bitset.t;
+  mutable order : int list;  (* reverse insertion order *)
+  mutable n_brokers : int;
+  mutable n_covered : int;
+}
+
+let create graph =
+  let n = G.n graph in
+  {
+    graph;
+    broker = Bitset.create n;
+    covered_set = Bitset.create n;
+    order = [];
+    n_brokers = 0;
+    n_covered = 0;
+  }
+
+let graph t = t.graph
+let f t = t.n_covered
+let size t = t.n_brokers
+
+let brokers t =
+  let arr = Array.make t.n_brokers 0 in
+  let i = ref (t.n_brokers - 1) in
+  List.iter
+    (fun v ->
+      arr.(!i) <- v;
+      decr i)
+    t.order;
+  arr
+
+let is_broker t v = Bitset.mem t.broker v
+let is_covered t v = Bitset.mem t.covered_set v
+let covered t = t.covered_set
+
+let gain t v =
+  let acc = ref (if Bitset.mem t.covered_set v then 0 else 1) in
+  G.iter_neighbors t.graph v (fun w ->
+      if not (Bitset.mem t.covered_set w) then incr acc);
+  !acc
+
+let add t v =
+  if not (Bitset.mem t.broker v) then begin
+    Bitset.add t.broker v;
+    t.order <- v :: t.order;
+    t.n_brokers <- t.n_brokers + 1;
+    if not (Bitset.mem t.covered_set v) then begin
+      Bitset.add t.covered_set v;
+      t.n_covered <- t.n_covered + 1
+    end;
+    G.iter_neighbors t.graph v (fun w ->
+        if not (Bitset.mem t.covered_set w) then begin
+          Bitset.add t.covered_set w;
+          t.n_covered <- t.n_covered + 1
+        end)
+  end
+
+let coverage_fraction t =
+  let n = G.n t.graph in
+  if n = 0 then 0.0 else float_of_int t.n_covered /. float_of_int n

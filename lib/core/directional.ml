@@ -1,0 +1,128 @@
+module G = Broker_graph.Graph
+module T = Broker_topo.Topology
+module Rel = Broker_topo.Node_meta.Relations
+
+type upgrades = (int * int, unit) Hashtbl.t
+
+let no_upgrades : upgrades = Hashtbl.create 1
+
+let canon u v = if u < v then (u, v) else (v, u)
+
+let upgrade_broker_edges ~rng topo ~brokers ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Directional.upgrade_broker_edges: fraction in [0,1]";
+  let g = topo.T.graph in
+  let is_broker = Connectivity.of_brokers ~n:(G.n g) brokers in
+  let candidates = ref [] in
+  Array.iter
+    (fun b ->
+      G.iter_neighbors g b (fun w ->
+          if b < w && is_broker w then candidates := (b, w) :: !candidates))
+    brokers;
+  let arr = Array.of_list !candidates in
+  Broker_util.Xrandom.shuffle rng arr;
+  let take = int_of_float (fraction *. float_of_int (Array.length arr)) in
+  let tbl : upgrades = Hashtbl.create (2 * max take 1) in
+  for i = 0 to take - 1 do
+    Hashtbl.replace tbl arr.(i) ()
+  done;
+  tbl
+
+let upgrade_count = Hashtbl.length
+
+(* Two-phase valley-free BFS. State 0 = ascending (customer→provider hops
+   so far only), state 1 = descending (a peak — peer hop or first
+   provider→customer hop — has been passed). *)
+let bfs_valley_free topo ~is_broker ~upgrades src dist_out =
+  let g = topo.T.graph in
+  let n = G.n g in
+  let rel = topo.T.relations in
+  let is_ixp v = T.is_ixp topo v in
+  let dist = Array.make (2 * n) (-1) in
+  let queue = Array.make (2 * n) 0 in
+  let head = ref 0 and tail = ref 0 in
+  let push v s d =
+    let i = (2 * v) + s in
+    if dist.(i) < 0 then begin
+      dist.(i) <- d;
+      queue.(!tail) <- i;
+      incr tail
+    end
+  in
+  push src 0 0;
+  while !head < !tail do
+    let i = queue.(!head) in
+    incr head;
+    let u = i / 2 and s = i land 1 in
+    let d = dist.(i) in
+    G.iter_neighbors g u (fun v ->
+        if is_broker u || is_broker v then begin
+          if Hashtbl.mem upgrades (canon u v) then push v s (d + 1)
+          else if is_ixp v then begin
+            (* Entering an IXP fabric: part of a peering, ascending only. *)
+            if s = 0 then push v 0 (d + 1)
+          end
+          else if is_ixp u then begin
+            (* Leaving the fabric consumes the peering transition. *)
+            if s = 0 then push v 1 (d + 1)
+          end
+          else if Rel.customer_of rel u v then begin
+            if s = 0 then push v 0 (d + 1)
+          end
+          else if Rel.provider_of rel u v then push v 1 (d + 1)
+          else if s = 0 then push v 1 (d + 1) (* peer or unknown *)
+        end)
+  done;
+  for v = 0 to n - 1 do
+    let a = dist.(2 * v) and b = dist.((2 * v) + 1) in
+    dist_out.(v) <-
+      (if a < 0 then b else if b < 0 then a else min a b)
+  done
+
+let curve_sampled ?(l_max = 10) ?(upgrades = no_upgrades) ?source_set ~rng
+    ~sources topo ~is_broker =
+  let g = topo.T.graph in
+  let n = G.n g in
+  if n < 2 then
+    { Connectivity.l_max; per_hop = Array.make (l_max + 1) 0.0; saturated = 0.0 }
+  else begin
+    let srcs =
+      match source_set with
+      | Some s -> s
+      | None ->
+          let k = min sources n in
+          Broker_util.Sampling.without_replacement rng ~n ~k
+    in
+    let hist = Array.make (l_max + 1) 0 in
+    let reached = ref 0 and total = ref 0 in
+    let dist = Array.make n (-1) in
+    Array.iter
+      (fun s ->
+        bfs_valley_free topo ~is_broker ~upgrades s dist;
+        Array.iteri
+          (fun v d ->
+            if v <> s && d > 0 then begin
+              incr reached;
+              if d <= l_max then hist.(d) <- hist.(d) + 1
+            end)
+          dist;
+        total := !total + (n - 1))
+      srcs;
+    let ftotal = float_of_int (max 1 !total) in
+    let per_hop = Array.make (l_max + 1) 0.0 in
+    let acc = ref 0 in
+    for l = 1 to l_max do
+      acc := !acc + hist.(l);
+      per_hop.(l) <- float_of_int !acc /. ftotal
+    done;
+    {
+      Connectivity.l_max;
+      per_hop;
+      saturated = float_of_int !reached /. ftotal;
+    }
+  end
+
+let saturated_sampled ?(upgrades = no_upgrades) ?source_set ~rng ~sources topo
+    ~is_broker =
+  (curve_sampled ~l_max:1 ~upgrades ?source_set ~rng ~sources topo ~is_broker)
+    .Connectivity.saturated

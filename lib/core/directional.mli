@@ -1,0 +1,52 @@
+(** Business-relationship-aware (directional) connectivity — Fig. 5b/5c.
+
+    Under real AS economics a path must be valley-free (Gao–Rexford): zero
+    or more customer→provider hops, at most one peering hop, then zero or
+    more provider→customer hops. IXP fabrics are transparent: entering an
+    IXP does not consume the peering transition, leaving it toward an AS
+    does. The broker restriction composes with this — every hop still needs
+    a broker endpoint.
+
+    "Changing an inter-broker connection to bidirectional" (Fig. 5b) marks a
+    broker–broker edge as freely traversable in both directions at any path
+    phase, modelling the mutual-transit agreement the brokerage coalition
+    signs internally. *)
+
+type upgrades
+(** A set of undirected edges upgraded to free traversal. *)
+
+val no_upgrades : upgrades
+
+val upgrade_broker_edges :
+  rng:Broker_util.Xrandom.t ->
+  Broker_topo.Topology.t ->
+  brokers:int array ->
+  fraction:float ->
+  upgrades
+(** Uniformly sample [fraction] of the broker–broker edges. *)
+
+val upgrade_count : upgrades -> int
+
+val curve_sampled :
+  ?l_max:int ->
+  ?upgrades:upgrades ->
+  ?source_set:int array ->
+  rng:Broker_util.Xrandom.t ->
+  sources:int ->
+  Broker_topo.Topology.t ->
+  is_broker:(int -> bool) ->
+  Connectivity.curve
+(** l-hop E2E connectivity where paths must be valley-free (modulo upgraded
+    edges) and B-dominated. Edges without a recorded relation are treated as
+    peering. [source_set] pins the BFS sources (common random numbers when
+    comparing broker sets or upgrade levels); otherwise [sources] are drawn
+    from [rng]. *)
+
+val saturated_sampled :
+  ?upgrades:upgrades ->
+  ?source_set:int array ->
+  rng:Broker_util.Xrandom.t ->
+  sources:int ->
+  Broker_topo.Topology.t ->
+  is_broker:(int -> bool) ->
+  float

@@ -1,0 +1,104 @@
+module G = Broker_graph.Graph
+
+let is_dominated_path ~is_broker path =
+  let rec check = function
+    | u :: (v :: _ as rest) -> (is_broker u || is_broker v) && check rest
+    | [ _ ] | [] -> true
+  in
+  check path
+
+let find_dominated_path g ~is_broker u v =
+  let edge_ok = Connectivity.edge_ok ~is_broker in
+  let n = G.n g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  seen.(u) <- true;
+  queue.(!tail) <- u;
+  incr tail;
+  while !head < !tail && not seen.(v) do
+    let x = queue.(!head) in
+    incr head;
+    G.iter_neighbors g x (fun y ->
+        if (not seen.(y)) && edge_ok x y then begin
+          seen.(y) <- true;
+          parent.(y) <- x;
+          queue.(!tail) <- y;
+          incr tail
+        end)
+  done;
+  if not seen.(v) then []
+  else begin
+    let rec walk x acc = if x = u then u :: acc else walk parent.(x) (x :: acc) in
+    walk v []
+  end
+
+type broker_only = {
+  broker_only_pairs : float;
+  saturated_pairs : float;
+  ratio : float;
+}
+
+let broker_only_fraction ~rng ~sources g ~brokers =
+  let n = G.n g in
+  let is_broker = Connectivity.of_brokers ~n brokers in
+  (* Components of the broker-induced subgraph. *)
+  let uf = Broker_util.Union_find.create n in
+  Array.iter
+    (fun b -> G.iter_neighbors g b (fun w -> if is_broker w then ignore (Broker_util.Union_find.union uf b w)))
+    brokers;
+  let comp_id = Hashtbl.create 64 in
+  let next_id = ref 0 in
+  let id_of root =
+    match Hashtbl.find_opt comp_id root with
+    | Some id -> id
+    | None ->
+        let id = !next_id in
+        incr next_id;
+        Hashtbl.replace comp_id root id;
+        id
+  in
+  (* Per-vertex list of adjacent broker components (deduplicated). *)
+  let adj_comps =
+    Array.init n (fun v ->
+        let acc = ref [] in
+        let push b =
+          let id = id_of (Broker_util.Union_find.find uf b) in
+          if not (List.mem id !acc) then acc := id :: !acc
+        in
+        if is_broker v then push v;
+        G.iter_neighbors g v (fun w -> if is_broker w then push w);
+        Array.of_list !acc)
+  in
+  let n_comps = !next_id in
+  let mark = Array.make (max n_comps 1) (-1) in
+  let k = min sources n in
+  let srcs = Broker_util.Sampling.without_replacement rng ~n ~k in
+  let broker_only = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun stamp u ->
+      Array.iter (fun c -> mark.(c) <- stamp) adj_comps.(u);
+      for v = 0 to n - 1 do
+        if v <> u then begin
+          incr total;
+          if Array.exists (fun c -> mark.(c) = stamp) adj_comps.(v) then
+            incr broker_only
+        end
+      done)
+    srcs;
+  let edge_ok = Connectivity.edge_ok ~is_broker in
+  let saturated = ref 0 in
+  Array.iter
+    (fun u ->
+      let dist = Broker_graph.Bfs.distances_filtered g ~edge_ok u in
+      Array.iter (fun d -> if d > 0 then incr saturated) dist)
+    srcs;
+  let ftotal = float_of_int (max 1 !total) in
+  let broker_only_pairs = float_of_int !broker_only /. ftotal in
+  let saturated_pairs = float_of_int !saturated /. ftotal in
+  {
+    broker_only_pairs;
+    saturated_pairs;
+    ratio = (if saturated_pairs = 0.0 then 0.0 else broker_only_pairs /. saturated_pairs);
+  }

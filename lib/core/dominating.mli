@@ -1,0 +1,34 @@
+(** B-dominating path predicates and construction (Definition 1), plus the
+    Fig. 5a "90% of E2E connections only use nodes in the broker set"
+    analysis. *)
+
+val is_dominated_path : is_broker:(int -> bool) -> int list -> bool
+(** Every hop of the path has at least one broker endpoint. Paths of fewer
+    than 2 vertices are vacuously dominated. *)
+
+val find_dominated_path :
+  Broker_graph.Graph.t -> is_broker:(int -> bool) -> int -> int -> int list
+(** Shortest B-dominated path between the endpoints, [[]] when none
+    exists. *)
+
+type broker_only = {
+  broker_only_pairs : float;
+      (** fraction of all ordered pairs connected through broker-internal
+          paths only (intermediate hops all brokers) *)
+  saturated_pairs : float;
+      (** fraction connected through any dominated path *)
+  ratio : float;
+      (** [broker_only_pairs / saturated_pairs] — the paper's ">90%"
+          statistic *)
+}
+
+val broker_only_fraction :
+  rng:Broker_util.Xrandom.t ->
+  sources:int ->
+  Broker_graph.Graph.t ->
+  brokers:int array ->
+  broker_only
+(** A pair [(u,v)] counts as broker-only when some connected component of
+    the broker-induced subgraph is adjacent to (or contains) both [u] and
+    [v] — i.e. traffic enters the broker mesh at the first hop and leaves it
+    at the last, paying no non-broker transit. *)

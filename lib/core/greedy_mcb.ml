@@ -1,0 +1,72 @@
+module G = Broker_graph.Graph
+module Heap = Broker_util.Heap
+
+let evaluations = ref 0
+let gain_evaluations () = !evaluations
+
+let naive g ~k =
+  evaluations := 0;
+  let cov = Coverage.create g in
+  let n = G.n g in
+  let continue = ref true in
+  while !continue && Coverage.size cov < k do
+    let best = ref (-1) and best_gain = ref 0 in
+    for v = 0 to n - 1 do
+      if not (Coverage.is_broker cov v) then begin
+        incr evaluations;
+        let gain = Coverage.gain cov v in
+        (* Ties break toward the smaller id, matching CELF. *)
+        if gain > !best_gain then begin
+          best := v;
+          best_gain := gain
+        end
+      end
+    done;
+    if !best < 0 || !best_gain = 0 then continue := false
+    else Coverage.add cov !best
+  done;
+  Coverage.brokers cov
+
+(* CELF lazy greedy: heap priorities encode (gain, vertex) with vertex id as
+   tie-breaker folded into the float so pops match naive's ordering. *)
+let priority_of ~n gain v =
+  (* Larger gain first; among equal gains, smaller vertex id first. *)
+  (float_of_int gain *. float_of_int (n + 1)) +. float_of_int (n - v)
+
+let celf_into cov ~k =
+  let g = Coverage.graph cov in
+  let n = G.n g in
+  evaluations := 0;
+  let heap = Heap.create ~initial_capacity:n Heap.Max in
+  let cached_gain = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    if not (Coverage.is_broker cov v) then begin
+      incr evaluations;
+      let gain = Coverage.gain cov v in
+      cached_gain.(v) <- gain;
+      if gain > 0 then Heap.push heap ~priority:(priority_of ~n gain v) v
+    end
+  done;
+  let continue = ref true in
+  while !continue && Coverage.size cov < k do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (_, v) ->
+        if not (Coverage.is_broker cov v) then begin
+          incr evaluations;
+          let fresh = Coverage.gain cov v in
+          if fresh = cached_gain.(v) then begin
+            if fresh = 0 then continue := false
+            else Coverage.add cov v
+          end
+          else begin
+            cached_gain.(v) <- fresh;
+            if fresh > 0 then Heap.push heap ~priority:(priority_of ~n fresh v) v
+          end
+        end
+  done
+
+let celf g ~k =
+  let cov = Coverage.create g in
+  celf_into cov ~k;
+  Coverage.brokers cov

@@ -1,0 +1,78 @@
+module G = Broker_graph.Graph
+module Heap = Broker_util.Heap
+
+let src = Logs.Src.create "broker.maxsg" ~doc:"MaxSubGraph-Greedy selection"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let priority_of ~n gain v =
+  (float_of_int gain *. float_of_int (n + 1)) +. float_of_int (n - v)
+
+(* Lazy constrained greedy: candidates are the covered vertices; gains only
+   shrink and candidacy only grows, so a popped entry whose recomputed gain
+   is unchanged is a true argmax among candidates. *)
+let grow cov ~k =
+  let g = Coverage.graph cov in
+  let n = G.n g in
+  let heap = Heap.create ~initial_capacity:256 Heap.Max in
+  let cached_gain = Array.make n (-1) in
+  let enqueued = Array.make n false in
+  let enqueue v =
+    if (not enqueued.(v)) && not (Coverage.is_broker cov v) then begin
+      enqueued.(v) <- true;
+      let gain = Coverage.gain cov v in
+      cached_gain.(v) <- gain;
+      if gain > 0 then Heap.push heap ~priority:(priority_of ~n gain v) v
+    end
+  in
+  let add_broker v =
+    Coverage.add cov v;
+    enqueue v;
+    G.iter_neighbors g v (fun w -> enqueue w)
+  in
+  (* Seed candidacy with the currently covered region. *)
+  Broker_util.Bitset.iter enqueue (Coverage.covered cov);
+  let continue = ref true in
+  while !continue && Coverage.size cov < k do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (_, v) ->
+        if not (Coverage.is_broker cov v) then begin
+          let fresh = Coverage.gain cov v in
+          if fresh = cached_gain.(v) then begin
+            if fresh = 0 then continue := false else add_broker v
+          end
+          else begin
+            cached_gain.(v) <- fresh;
+            if fresh > 0 then Heap.push heap ~priority:(priority_of ~n fresh v) v
+          end
+        end
+  done
+
+let run g ~k =
+  let n = G.n g in
+  if n = 0 || k <= 0 then [||]
+  else begin
+    let cov = Coverage.create g in
+    (* Seed: maximum-degree vertex. *)
+    let seed = ref 0 in
+    for v = 1 to n - 1 do
+      if G.degree g v > G.degree g !seed then seed := v
+    done;
+    Coverage.add cov !seed;
+    if k > 1 then grow cov ~k;
+    Log.info (fun m ->
+        m "MaxSG selected %d brokers covering %d/%d vertices"
+          (Coverage.size cov) (Coverage.f cov) n);
+    Coverage.brokers cov
+  end
+
+let run_to_saturation g = run g ~k:max_int
+
+let coverage_curve g brokers =
+  let cov = Coverage.create g in
+  Array.map
+    (fun v ->
+      Coverage.add cov v;
+      (Coverage.size cov, Coverage.f cov))
+    brokers

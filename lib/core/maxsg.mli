@@ -1,0 +1,35 @@
+(** Algorithm 3 of the paper: the MaxSubGraph-Greedy (MaxSG) heuristic,
+    O(k (|V| + |E|)).
+
+    Each iteration adds the vertex that maximizes the size of the dominated
+    connected subgraph. Following DESIGN.md §5: candidates are restricted to
+    vertices already inside the dominated region [B ∪ N(B)] (each new broker
+    is therefore at most 2 hops from an existing one through a dominated
+    vertex), and among candidates the coverage gain [f(B ∪ {v}) - f(B)] is
+    maximized. The output hence grows one connected dominated cluster — by
+    construction any two covered vertices have a B-dominating path through
+    the cluster, satisfying the MCBG constraint.
+
+    The first broker is the maximum-degree vertex (the densest point of the
+    AS graph core). Lazy gain maintenance (gains only shrink; the candidate
+    set only grows, and vertices are (re)inserted into the heap as they
+    become covered) keeps the whole run linear-ish in practice. *)
+
+val grow : Coverage.t -> k:int -> unit
+(** Continue the constrained greedy from an existing coverage state until it
+    holds [k] brokers or the dominated region stops growing. Candidates are
+    the already-covered vertices, so every addition keeps the broker cluster
+    mutually dominated. Algorithm 2 reuses this to spend leftover budget. *)
+
+val run : Broker_graph.Graph.t -> k:int -> int array
+(** Brokers in selection order. Stops early once the dominated region stops
+    growing (the paper's "3,540-alliance" point: the maximum connected
+    subgraph is fully dominated). A prefix of the output is exactly the
+    result for a smaller [k]. *)
+
+val run_to_saturation : Broker_graph.Graph.t -> int array
+(** [run] with an unbounded budget: grow until full domination of the
+    component of the starting vertex. *)
+
+val coverage_curve : Broker_graph.Graph.t -> int array -> (int * int) array
+(** [(prefix size, f(B_prefix))] after each addition, for sweep plots. *)

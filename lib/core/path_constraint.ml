@@ -1,0 +1,29 @@
+type verdict = {
+  feasible : bool;
+  epsilon : float;
+  max_deviation : float;
+  worst_l : int;
+}
+
+let max_deviation (c : Connectivity.curve) ~(target : Connectivity.curve) =
+  let l_max = min c.Connectivity.l_max target.Connectivity.l_max in
+  let worst = ref 0.0 and worst_l = ref 1 in
+  for l = 1 to l_max do
+    let d =
+      abs_float (Connectivity.value_at c l -. Connectivity.value_at target l)
+    in
+    if d > !worst then begin
+      worst := d;
+      worst_l := l
+    end
+  done;
+  let d_sat = abs_float (c.Connectivity.saturated -. target.Connectivity.saturated) in
+  if d_sat > !worst then begin
+    worst := d_sat;
+    worst_l := l_max + 1
+  end;
+  (!worst, !worst_l)
+
+let feasible ~epsilon c ~target =
+  let dev, worst_l = max_deviation c ~target in
+  { feasible = dev <= epsilon; epsilon; max_deviation = dev; worst_l }

@@ -1,0 +1,119 @@
+module G = Broker_graph.Graph
+
+let partition g ~k =
+  if k < 1 then invalid_arg "Regions.partition: k >= 1";
+  let n = G.n g in
+  if n = 0 then [||]
+  else begin
+    (* Farthest-point seeding. *)
+    let seeds = Array.make (min k n) 0 in
+    let best = ref 0 in
+    for v = 1 to n - 1 do
+      if G.degree g v > G.degree g !best then best := v
+    done;
+    seeds.(0) <- !best;
+    let min_dist = Array.make n max_int in
+    let update_from s =
+      let d = Broker_graph.Bfs.distances g s in
+      for v = 0 to n - 1 do
+        if d.(v) >= 0 && d.(v) < min_dist.(v) then min_dist.(v) <- d.(v)
+      done
+    in
+    update_from seeds.(0);
+    for i = 1 to Array.length seeds - 1 do
+      (* Farthest reachable vertex from the current seed set. *)
+      let far = ref seeds.(0) and far_d = ref (-1) in
+      for v = 0 to n - 1 do
+        if min_dist.(v) < max_int && min_dist.(v) > !far_d then begin
+          far := v;
+          far_d := min_dist.(v)
+        end
+      done;
+      seeds.(i) <- !far;
+      update_from seeds.(i)
+    done;
+    (* Region of each vertex: nearest seed, ties to the lower id —
+       realized by a multi-source BFS expanding one ring per seed in id
+       order. *)
+    let region = Array.make n (-1) in
+    let dists = Array.map (fun s -> Broker_graph.Bfs.distances g s) seeds in
+    for v = 0 to n - 1 do
+      let best_r = ref 0 and best_d = ref max_int in
+      Array.iteri
+        (fun r d ->
+          if d.(v) >= 0 && d.(v) < !best_d then begin
+            best_r := r;
+            best_d := d.(v)
+          end)
+        dists;
+      region.(v) <- (if !best_d = max_int then 0 else !best_r)
+    done;
+    region
+  end
+
+let region_sizes regions ~k =
+  let sizes = Array.make k 0 in
+  Array.iter (fun r -> if r >= 0 && r < k then sizes.(r) <- sizes.(r) + 1) regions;
+  sizes
+
+let seeded_selection g ~regions ~k =
+  let n = G.n g in
+  if n = 0 || k <= 0 then [||]
+  else begin
+    let n_regions = 1 + Array.fold_left max 0 regions in
+    let cov = Coverage.create g in
+    (* Seed each region with its max-degree vertex, budget permitting. *)
+    let budget = ref k in
+    for r = 0 to n_regions - 1 do
+      if !budget > 0 then begin
+        let best = ref (-1) in
+        for v = 0 to n - 1 do
+          if regions.(v) = r && (!best < 0 || G.degree g v > G.degree g !best)
+          then best := v
+        done;
+        if !best >= 0 then begin
+          Coverage.add cov !best;
+          decr budget
+        end
+      end
+    done;
+    if Coverage.size cov < k then Maxsg.grow cov ~k;
+    Coverage.brokers cov
+  end
+
+type fairness = {
+  per_region : float array;
+  min_region : float;
+  max_region : float;
+  jain : float;
+}
+
+let coverage_fairness g ~regions ~n_regions ~brokers =
+  let n = G.n g in
+  let cov = Coverage.create g in
+  Array.iter (Coverage.add cov) brokers;
+  let covered = Array.make n_regions 0 in
+  let total = Array.make n_regions 0 in
+  for v = 0 to n - 1 do
+    let r = regions.(v) in
+    if r >= 0 && r < n_regions then begin
+      total.(r) <- total.(r) + 1;
+      if Coverage.is_covered cov v then covered.(r) <- covered.(r) + 1
+    end
+  done;
+  let per_region =
+    Array.init n_regions (fun r ->
+        if total.(r) = 0 then 0.0
+        else float_of_int covered.(r) /. float_of_int total.(r))
+  in
+  let populated = Array.to_list per_region |> List.filteri (fun r _ -> total.(r) > 0) in
+  let xs = Array.of_list populated in
+  let sum = Array.fold_left ( +. ) 0.0 xs in
+  let sumsq = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
+  let m = float_of_int (Array.length xs) in
+  {
+    per_region;
+    min_region = Array.fold_left Float.min infinity xs;
+    max_region = Array.fold_left Float.max 0.0 xs;
+    jain = (if sumsq = 0.0 then 1.0 else sum *. sum /. (m *. sumsq));
+  }

@@ -1,0 +1,38 @@
+(** Geographic regions and region-aware broker selection (reproduction
+    extension).
+
+    The paper's broker set is selected globally; real deployments negotiate
+    per jurisdiction, and an alliance that leaves a continent uncovered is
+    a non-starter. Lacking geography in the dataset, regions are derived
+    from the graph itself: k-way partition by multi-source BFS from
+    farthest-point-seeded centers (graph distance is a serviceable proxy
+    for geography on AS topologies). Selection can then be forced to seed
+    every region before optimizing globally, and coverage fairness across
+    regions is measurable. *)
+
+val partition :
+  Broker_graph.Graph.t -> k:int -> int array
+(** [partition g ~k] assigns every vertex a region id in [0..k-1]:
+    farthest-point seeding (first seed = max-degree vertex), then each
+    vertex joins its nearest seed (ties to the lower region id). Vertices
+    unreachable from every seed land in region 0. Deterministic. *)
+
+val region_sizes : int array -> k:int -> int array
+
+val seeded_selection :
+  Broker_graph.Graph.t -> regions:int array -> k:int -> int array
+(** Place one initial broker (the region's max-degree vertex) in every
+    region, then continue with the constrained greedy ({!Maxsg.grow}).
+    Note: until the regional clusters' dominated regions merge, the
+    B-dominating-path guarantee holds within clusters only. *)
+
+type fairness = {
+  per_region : float array;  (** coverage fraction inside each region *)
+  min_region : float;
+  max_region : float;
+  jain : float;  (** Jain's fairness index of the per-region coverages *)
+}
+
+val coverage_fairness :
+  Broker_graph.Graph.t -> regions:int array -> n_regions:int -> brokers:int array -> fairness
+(** How evenly a broker set covers the regions. *)

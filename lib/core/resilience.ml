@@ -1,0 +1,56 @@
+module G = Broker_graph.Graph
+
+type failure_model = Random | Targeted
+
+type point = { failed_fraction : float; failed : int; connectivity : float }
+
+(* A single elimination order per model; failure sets at different
+   fractions are nested prefixes of it, so degradation is monotone by
+   construction. *)
+let elimination_order ~rng g ~brokers ~model =
+  let order = Array.copy brokers in
+  (match model with
+  | Random -> Broker_util.Xrandom.shuffle rng order
+  | Targeted ->
+      Array.sort
+        (fun a b ->
+          let c = compare (G.degree g b) (G.degree g a) in
+          if c <> 0 then c else compare a b)
+        order);
+  order
+
+let drop_prefix ~order ~brokers ~fraction =
+  if fraction < 0.0 || fraction > 1.0 then
+    invalid_arg "Resilience: fraction in [0,1]";
+  let n_fail = int_of_float (fraction *. float_of_int (Array.length brokers)) in
+  let doomed = Hashtbl.create (2 * max n_fail 1) in
+  for i = 0 to n_fail - 1 do
+    Hashtbl.replace doomed order.(i) ()
+  done;
+  Array.of_list
+    (List.filter (fun b -> not (Hashtbl.mem doomed b)) (Array.to_list brokers))
+
+let survivors ~rng g ~brokers ~model ~fraction =
+  let order = elimination_order ~rng g ~brokers ~model in
+  drop_prefix ~order ~brokers ~fraction
+
+let degradation ~rng ~sources g ~brokers ~model ~fractions =
+  let n = G.n g in
+  let source_set =
+    Broker_util.Sampling.without_replacement rng ~n ~k:(min sources n)
+  in
+  let order = elimination_order ~rng g ~brokers ~model in
+  List.map
+    (fun fraction ->
+      let alive = drop_prefix ~order ~brokers ~fraction in
+      let is_broker = Connectivity.of_brokers ~n alive in
+      let c =
+        Connectivity.sampled ~l_max:1 ~source_set ~rng
+          ~sources:(Array.length source_set) g ~is_broker
+      in
+      {
+        failed_fraction = fraction;
+        failed = Array.length brokers - Array.length alive;
+        connectivity = c.Connectivity.saturated;
+      })
+    fractions

@@ -1,0 +1,43 @@
+type customer = {
+  v_scale : float;
+  v_curvature : float;
+  p_peak : float;
+  p_scale : float;
+  a0 : float;
+}
+
+let customer ?(v_scale = 10.0) ?(v_curvature = 4.0) ?(p_peak = 0.6)
+    ?(p_scale = 2.0) ?(a0 = 0.05) () =
+  if v_scale <= 0.0 || v_curvature <= 0.0 then
+    invalid_arg "Market.customer: v parameters must be positive";
+  if p_peak < 0.0 || p_peak > 1.0 then
+    invalid_arg "Market.customer: p_peak in [0,1]";
+  if p_scale < 0.0 then invalid_arg "Market.customer: p_scale >= 0";
+  if a0 < 0.0 || a0 > 1.0 then invalid_arg "Market.customer: a0 in [0,1]";
+  { v_scale; v_curvature; p_peak; p_scale; a0 }
+
+let random_population ~rng ~n =
+  Array.init n (fun _ ->
+      let jitter lo hi = lo +. Broker_util.Xrandom.float rng (hi -. lo) in
+      customer ~v_scale:(jitter 5.0 15.0) ~v_curvature:(jitter 2.0 6.0)
+        ~p_peak:(jitter 0.3 0.8) ~p_scale:(jitter 0.5 3.0)
+        ~a0:(jitter 0.0 0.15) ())
+
+let v c a = c.v_scale *. log (1.0 +. (c.v_curvature *. a)) /. log (1.0 +. c.v_curvature)
+
+let p c a = c.p_scale *. (((1.0 -. c.p_peak) ** 2.0) -. ((a -. c.p_peak) ** 2.0))
+
+let utility c ~price a = v c a +. p c a -. (price *. a)
+
+let best_response c ~price =
+  let f a = utility c ~price a in
+  let a_star, _ = Broker_util.Optimize.golden_section_max ~tol:1e-10 f ~lo:c.a0 ~hi:1.0 in
+  a_star
+
+type broker_cost = { per_unit : float; concavity : float }
+
+let default_cost = { per_unit = 0.5; concavity = 0.3 }
+
+let cost bc alpha =
+  if alpha < 0.0 then invalid_arg "Market.cost: negative traffic";
+  (bc.per_unit *. alpha) +. (bc.concavity *. sqrt alpha)

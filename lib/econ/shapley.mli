@@ -1,0 +1,26 @@
+(** Shapley-value revenue distribution inside the broker coalition
+    (Section 7.2, Eq. 12–13).
+
+    The characteristic function is supplied as a closure over player
+    bitmasks (player [i] present iff bit [i] set), so callers can wire it
+    to anything — including the topology-level connectivity value used by
+    the experiments. Exact computation enumerates all [2^n] subsets
+    (feasible to ~20 players); beyond that, the permutation-sampling
+    estimator of [35],[37] applies. *)
+
+val exact : n:int -> v:(int -> float) -> float array
+(** Exact Shapley values.
+    @raise Invalid_argument when [n < 1] or [n > 20]. *)
+
+val monte_carlo :
+  rng:Broker_util.Xrandom.t ->
+  n:int ->
+  samples:int ->
+  v:(int -> float) ->
+  float array
+(** Permutation-sampling estimate; unbiased, with standard error
+    O(1/√samples). [n] up to 62 (bitmask width). *)
+
+val efficiency_gap : v:(int -> float) -> n:int -> float array -> float
+(** |Σ_j φ_j - v(N)| — zero for exact values (the efficiency axiom), small
+    for Monte-Carlo estimates. *)

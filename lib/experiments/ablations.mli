@@ -1,0 +1,15 @@
+(** Ablations of the reproduction's own design choices (DESIGN.md §6). *)
+
+val celf_vs_naive : Ctx.t -> unit
+(** Identical outputs, gain-evaluation counts and wall-clock of the two
+    Algorithm 1 implementations on a mid-size topology. *)
+
+val beta_sweep : Ctx.t -> unit
+(** Algorithm 2's coverage/connector split and resulting connectivity as
+    the assumed β varies, plus single-root vs all-roots connector search. *)
+
+val sampling_accuracy : Ctx.t -> unit
+(** Sampled-vs-exact connectivity deviation as the source budget grows. *)
+
+val run : Ctx.t -> unit
+(** All three. *)

@@ -1,0 +1,54 @@
+type experiment = { id : string; description : string; run : Ctx.t -> unit }
+
+let experiments =
+  [
+    { id = "table1"; description = "alliance size vs QoS coverage"; run = Table1.run };
+    { id = "table2"; description = "dataset summary"; run = Table2.run };
+    { id = "table3"; description = "l-hop connectivity per topology"; run = Table3.run };
+    { id = "table4"; description = "path inflation of the full alliance"; run = Table4.run };
+    { id = "table5"; description = "example brokers and rankings"; run = Table5.run };
+    { id = "fig1"; description = "topology structure + DOT export"; run = (fun ctx -> Fig1.run ctx) };
+    { id = "fig2a"; description = "Set-Cover set-size CDF"; run = Fig2a.run };
+    { id = "fig2b"; description = "algorithm comparison"; run = Fig2b.run };
+    { id = "fig3"; description = "PageRank correlation decay"; run = Fig3.run };
+    { id = "fig4"; description = "broker placement core vs edge"; run = Fig4.run };
+    { id = "fig5a"; description = "alliance composition"; run = Fig5a.run };
+    { id = "fig5b"; description = "bidirectional upgrades"; run = Fig5b.run };
+    { id = "fig5c"; description = "valley-free connectivity sweep"; run = Fig5c.run };
+    { id = "fig6"; description = "bargaining + Stackelberg pricing"; run = Fig6.run };
+    { id = "econ2"; description = "Shapley division + stability"; run = Econ2.run };
+    { id = "ablation_celf"; description = "CELF vs naive greedy"; run = Ablations.celf_vs_naive };
+    { id = "ablation_beta"; description = "Algorithm 2 beta sweep"; run = Ablations.beta_sweep };
+    { id = "ablation_sampling"; description = "estimator accuracy"; run = Ablations.sampling_accuracy };
+    { id = "ablation_exact"; description = "empirical approx ratios vs OPT"; run = Extensions.exact_ratio };
+    { id = "ext_resilience"; description = "broker failure degradation"; run = Extensions.resilience };
+    { id = "ext_traffic"; description = "traffic-weighted connectivity"; run = Extensions.traffic };
+    { id = "ext_betweenness"; description = "betweenness-based selection"; run = Extensions.betweenness };
+    { id = "ext_bounded"; description = "radius-bounded selection"; run = Extensions.bounded };
+    { id = "ext_churn"; description = "growth & broker maintenance"; run = Extensions.churn };
+    { id = "ext_sim"; description = "flow-level brokerage simulation"; run = Ext_sim.run };
+    { id = "ext_regions"; description = "region-aware selection fairness"; run = Extensions.regions };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) experiments
+
+let run_all ctx =
+  List.iter
+    (fun e ->
+      e.run ctx;
+      (* Keep long runs observable when stdout is a file. *)
+      flush stdout)
+    experiments
+
+let run_one ctx id =
+  match find id with
+  | Some e ->
+      e.run ctx;
+      flush stdout;
+      Ok ()
+  | None ->
+      Error
+        (Printf.sprintf "unknown experiment %S; known: %s" id
+           (String.concat ", " (List.map (fun e -> e.id) experiments)))

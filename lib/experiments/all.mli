@@ -1,0 +1,12 @@
+(** Run every table/figure reproduction in paper order. *)
+
+type experiment = { id : string; description : string; run : Ctx.t -> unit }
+
+val experiments : experiment list
+(** In presentation order: T1-T5, F1-F6, econ, ablations. *)
+
+val find : string -> experiment option
+(** Lookup by id (case-insensitive), e.g. ["table1"], ["fig2b"]. *)
+
+val run_all : Ctx.t -> unit
+val run_one : Ctx.t -> string -> (unit, string) Stdlib.result

@@ -1,0 +1,101 @@
+module Table = Broker_util.Table
+
+type result = {
+  players : int;
+  shapley : float array;
+  efficiency_gap : float;
+  superadditive : Broker_econ.Coalition.check;
+  supermodular : Broker_econ.Coalition.check;
+  individually_rational : bool;
+  group_rational : Broker_econ.Coalition.check;
+  supermodularity_break : int option;
+}
+
+let compute ?(players = 10) ctx =
+  (* Small dedicated topology: exact 2^players enumeration of v. *)
+  let params = { (Broker_topo.Internet.scaled 0.02) with seed = Ctx.seed ctx } in
+  let topo = Broker_topo.Internet.generate params in
+  let g = topo.Broker_topo.Topology.graph in
+  let n = Broker_graph.Graph.n g in
+  let order = Broker_core.Maxsg.run_to_saturation g in
+  (* Candidate players: mid-ranked brokers spread along the MaxSG order.
+     Their coverages are modest and mostly disjoint — the early-coalition
+     regime where the paper's network-externality argument (superadditive,
+     supermodular value) applies. The mega-hubs at the head of the order
+     overlap almost completely and would sit in the post-threshold regime
+     instead. *)
+  let head = min 4 (Array.length order - 1) in
+  let tail = Array.length order - head in
+  let players = min players tail in
+  let stride = max 1 (tail / players) in
+  let candidates = Array.init players (fun i -> order.(head + (i * stride))) in
+  (* v(S) = (f(S)/n)^2: revenue proportional to served pair fraction. *)
+  let memo = Hashtbl.create 1024 in
+  let v mask =
+    match Hashtbl.find_opt memo mask with
+    | Some x -> x
+    | None ->
+        let cov = Broker_core.Coverage.create g in
+        for j = 0 to players - 1 do
+          if mask land (1 lsl j) <> 0 then Broker_core.Coverage.add cov candidates.(j)
+        done;
+        let frac = float_of_int (Broker_core.Coverage.f cov) /. float_of_int n in
+        let value = frac *. frac in
+        Hashtbl.replace memo mask value;
+        value
+  in
+  let shapley = Broker_econ.Shapley.exact ~n:players ~v in
+  let rng = Ctx.rng ctx in
+  let trials = 20_000 in
+  (* Marginal-contribution curve along the full MaxSG growth sequence. *)
+  let values =
+    let cov = Broker_core.Coverage.create g in
+    Array.map
+      (fun b ->
+        Broker_core.Coverage.add cov b;
+        let frac = float_of_int (Broker_core.Coverage.f cov) /. float_of_int n in
+        frac *. frac)
+      order
+  in
+  {
+    players;
+    shapley;
+    efficiency_gap = Broker_econ.Shapley.efficiency_gap ~v ~n:players shapley;
+    superadditive = Broker_econ.Coalition.superadditive ~rng ~n:players ~v ~trials;
+    supermodular = Broker_econ.Coalition.supermodular ~rng ~n:players ~v ~trials;
+    individually_rational =
+      Broker_econ.Coalition.individually_rational ~v ~n:players shapley;
+    group_rational =
+      Broker_econ.Coalition.group_rational ~rng ~n:players ~v shapley ~trials;
+    supermodularity_break = Broker_econ.Coalition.supermodularity_break values;
+  }
+
+let run ctx =
+  Ctx.section "Sec 7.2 - Shapley revenue division and coalition stability";
+  let r = compute ctx in
+  let t = Table.create ~headers:[ "Broker"; "Shapley share" ] in
+  Array.iteri
+    (fun j phi ->
+      Table.add_row t
+        [ Printf.sprintf "#%d" (j + 1); Printf.sprintf "%.5f" phi ])
+    r.shapley;
+  Table.print t;
+  let pp_check name (c : Broker_econ.Coalition.check) =
+    Printf.printf "%s: %s (%d violations / %d trials)\n" name
+      (if c.Broker_econ.Coalition.holds then "holds" else "VIOLATED")
+      c.Broker_econ.Coalition.violations c.Broker_econ.Coalition.trials
+  in
+  Printf.printf "Efficiency gap |sum phi - v(N)|: %.2e\n" r.efficiency_gap;
+  pp_check "Superadditivity (Thm 7 hypothesis)" r.superadditive;
+  pp_check "Supermodularity (Thm 8 hypothesis)" r.supermodular;
+  Printf.printf
+    "(the paper predicts supermodularity holds early and breaks once the important ASes are in)\n";
+  Printf.printf "Individual rationality phi_j >= v({j}): %b\n"
+    r.individually_rational;
+  pp_check "Group rationality (core membership)" r.group_rational;
+  (match r.supermodularity_break with
+  | Some i ->
+      Printf.printf
+        "Marginal contribution starts decaying at broker #%d - the paper's signal to stop growing B.\n"
+        (i + 1)
+  | None -> Printf.printf "Marginal contributions never decayed (graph too small).\n")

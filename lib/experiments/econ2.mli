@@ -1,0 +1,25 @@
+(** Section 7.2: Shapley-value revenue division and coalition stability.
+
+    The characteristic function is topology-derived: a broker subset S
+    earns revenue proportional to the fraction of E2E pairs it can serve,
+    v(S) = (f(S)/|V|)² — pair coverage exhibits the "network externality"
+    the paper describes: marginal contributions first grow (supermodular
+    phase — strong stability), then decay once the important ASes are in
+    (the signal to stop growing B). Runs on a small (~1,000-node) topology
+    so the 2^n subset enumeration stays exact. *)
+
+type result = {
+  players : int;
+  shapley : float array;
+  efficiency_gap : float;
+  superadditive : Broker_econ.Coalition.check;
+  supermodular : Broker_econ.Coalition.check;
+  individually_rational : bool;
+  group_rational : Broker_econ.Coalition.check;
+  supermodularity_break : int option;
+      (** prefix size where marginal contributions start decaying, over the
+          MaxSG growth sequence *)
+}
+
+val compute : ?players:int -> Ctx.t -> result
+val run : Ctx.t -> unit

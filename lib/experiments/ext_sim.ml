@@ -1,0 +1,63 @@
+module Table = Broker_util.Table
+
+let run ctx =
+  Ctx.section "Extension - flow-level brokerage simulation + latency stretch";
+  (* Simulation scale is capped: per-session path queries on the full graph
+     would dominate runtime without changing the story. *)
+  let sim_scale = Float.min (Ctx.scale ctx) 0.05 in
+  let params = { (Broker_topo.Internet.scaled sim_scale) with seed = Ctx.seed ctx } in
+  let topo = Broker_topo.Internet.generate params in
+  let g = topo.Broker_topo.Topology.graph in
+  let brokers = Broker_core.Maxsg.run g ~k:(max 30 (Broker_graph.Graph.n g / 20)) in
+  let model = Broker_core.Traffic.gravity ~rng:(Ctx.rng ctx) g in
+  let sessions =
+    Broker_sim.Workload.generate ~rng:(Ctx.rng ctx) model ~n_sessions:8000
+      Broker_sim.Workload.default_params
+  in
+  let t =
+    Table.create
+      ~headers:
+        [
+          "Capacity factor"; "Admitted"; "No path"; "No capacity";
+          "Mean hops"; "Utilization"; "Net revenue";
+        ]
+  in
+  List.iter
+    (fun factor ->
+      let config = Broker_sim.Simulator.degree_capacity g ~factor in
+      let s = Broker_sim.Simulator.run topo ~brokers ~sessions config in
+      Table.add_row t
+        [
+          Printf.sprintf "%.2f" factor;
+          Table.cell_pct s.Broker_sim.Simulator.admission_rate;
+          Table.cell_int s.Broker_sim.Simulator.rejected_no_path;
+          Table.cell_int s.Broker_sim.Simulator.rejected_capacity;
+          Table.cell_float s.Broker_sim.Simulator.mean_hops;
+          Table.cell_pct s.Broker_sim.Simulator.mean_broker_utilization;
+          Printf.sprintf "%.0f" s.Broker_sim.Simulator.revenue;
+        ])
+    [ 0.05; 0.1; 0.25; 0.5; 1.0 ];
+  Table.print t;
+  (* Latency stretch of broker paths vs free min-latency paths. *)
+  let lat = Broker_routing.Latency.assign ~rng:(Ctx.rng ctx) topo in
+  let n = Broker_graph.Graph.n g in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  let rng = Ctx.rng ctx in
+  let stretches = ref [] in
+  let tries = ref 0 in
+  while List.length !stretches < 60 && !tries < 600 do
+    incr tries;
+    let src = Broker_util.Xrandom.int rng n and dst = Broker_util.Xrandom.int rng n in
+    if src <> dst then
+      match Broker_routing.Latency.stretch lat topo ~is_broker ~src ~dst with
+      | Some s -> stretches := s :: !stretches
+      | None -> ()
+  done;
+  let arr = Array.of_list !stretches in
+  if Array.length arr > 0 then begin
+    let s = Broker_util.Stats.summarize arr in
+    Printf.printf
+      "Latency stretch of dominated paths vs free min-latency paths over %d pairs:\nmean %.3f, median %.3f, p90 %.3f (1.0 = no inflation).\n"
+      s.Broker_util.Stats.n s.Broker_util.Stats.mean s.Broker_util.Stats.p50
+      s.Broker_util.Stats.p90
+  end

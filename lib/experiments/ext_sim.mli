@@ -1,0 +1,6 @@
+(** Flow-level simulation of the brokerage (reproduction extension):
+    Poisson QoS sessions over the broker mesh with per-broker admission
+    control, swept over the capacity provisioning factor; plus the latency
+    view of Table 4's "minimal path inflation" claim. *)
+
+val run : Ctx.t -> unit

@@ -1,0 +1,31 @@
+(** Reproduction extensions beyond the paper's own figures (DESIGN.md:
+    optional/extension features). Each is a full experiment with the same
+    deterministic-context discipline as the table/figure reproductions. *)
+
+val resilience : Ctx.t -> unit
+(** Broker-failure degradation: random vs targeted failures of the MaxSG
+    alliance at several failure fractions. *)
+
+val traffic : Ctx.t -> unit
+(** Gravity-model traffic-weighted connectivity vs the unweighted pair
+    count, across broker budgets. *)
+
+val betweenness : Ctx.t -> unit
+(** Betweenness-Based selection vs DB/PRB/MaxSG at the ~1,000-broker
+    budget: does path centrality escape the marginal effect? *)
+
+val bounded : Ctx.t -> unit
+(** Radius-bounded selection (Problem 4's constructive side): l-hop curves
+    of MaxSG vs Bounded_coverage at the same budget. *)
+
+val churn : Ctx.t -> unit
+(** Topology growth: coverage decay of a frozen broker set and the cost of
+    incremental repair vs reselection. *)
+
+val exact_ratio : Ctx.t -> unit
+(** Empirical approximation ratios of Algorithms 1-3 against brute-force
+    optima on tiny graphs (Lemma 4 / Theorem 3 sanity). *)
+
+val regions : Ctx.t -> unit
+(** Region-aware selection: BFS-derived regions; coverage fairness (Jain
+    index, worst region) of plain MaxSG vs region-seeded selection. *)

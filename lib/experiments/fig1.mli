@@ -1,0 +1,7 @@
+(** Fig. 1: the AS-level topology is a scale-free, layered network with
+    IXPs at both core and edge. We report the structural statistics behind
+    the picture and export a renderable DOT sample. *)
+
+val run : ?dot_path:string -> Ctx.t -> unit
+(** Writes the DOT sample to [dot_path] (default
+    ["fig1_topology.dot"] in the working directory). *)

@@ -1,0 +1,45 @@
+module Table = Broker_util.Table
+module Conn = Broker_core.Connectivity
+
+type row = { name : string; brokers : int; curve : Conn.curve }
+
+let compute ctx =
+  let topo = Ctx.topo ctx in
+  let g = Ctx.graph ctx in
+  let k = Ctx.scale_count ctx 1000 in
+  let eval name brokers =
+    { name; brokers = Array.length brokers; curve = Ctx.curve ctx brokers }
+  in
+  let prefix order = Array.sub order 0 (min k (Array.length order)) in
+  (* All-roots MCBG is quadratic in x*; at full scale use the single-root
+     shortcut (ablation_beta quantifies the negligible difference). *)
+  let all_roots = Ctx.scale ctx < 0.2 in
+  let mcbg = Broker_core.Mcbg.run ~all_roots g ~k ~beta:4 in
+  [
+    eval "MCBG-approx" mcbg.Broker_core.Mcbg.brokers;
+    eval "MaxSG" (prefix (Ctx.maxsg_order ctx));
+    eval "Greedy-MCB" (prefix (Ctx.greedy_order ctx));
+    eval "DB (degree)" (Broker_core.Baselines.db g ~k);
+    eval "PRB (PageRank)" (Broker_core.Baselines.prb g ~k);
+    eval "IXPB (all IXPs)" (Broker_core.Baselines.ixpb topo ~min_degree:0);
+    eval "Tier1Only" (Broker_core.Baselines.tier1_only topo);
+  ]
+
+let run ctx =
+  Ctx.section "Fig 2b - l-hop connectivity per selection algorithm";
+  let headers =
+    "Algorithm" :: "k"
+    :: List.map (fun l -> Printf.sprintf "l=%d" l) [ 2; 3; 4; 5; 6 ]
+    @ [ "saturated" ]
+  in
+  let t = Table.create ~headers in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        (r.name :: Table.cell_int r.brokers
+         :: List.map (fun l -> Table.cell_pct (Conn.value_at r.curve l)) [ 2; 3; 4; 5; 6 ]
+        @ [ Table.cell_pct r.curve.Conn.saturated ]))
+    (compute ctx);
+  Table.print t;
+  Printf.printf
+    "Paper at ~1,000 brokers: approx 85.71%%, MaxSG within 0.5%% of approx, DB 72.53%%, IXPB <= 15.70%%, Tier1Only worse.\n"

@@ -1,0 +1,27 @@
+module Table = Broker_util.Table
+
+let run ctx =
+  Ctx.section "Fig 5a - alliance composition and broker-only traffic share";
+  let topo = Ctx.topo ctx in
+  let brokers = Ctx.maxsg_order ctx in
+  let shares = Broker_core.Composition.shares topo ~brokers in
+  let t = Table.create ~headers:[ "Kind"; "Brokers"; "Share" ] in
+  List.iter
+    (fun (s : Broker_core.Composition.share) ->
+      Table.add_row t
+        [
+          Broker_topo.Node_meta.kind_to_string s.Broker_core.Composition.kind;
+          Table.cell_int s.Broker_core.Composition.count;
+          Table.cell_pct s.Broker_core.Composition.fraction;
+        ])
+    shares;
+  Table.print t;
+  let quick_sources = min 48 (Ctx.sources ctx) in
+  let bo =
+    Broker_core.Dominating.broker_only_fraction ~rng:(Ctx.rng ctx)
+      ~sources:quick_sources (Ctx.graph ctx) ~brokers
+  in
+  Printf.printf
+    "E2E connections served by the broker mesh alone: %.1f%% of all pairs = %.1f%% of served pairs (paper: >90%%).\n"
+    (100.0 *. bo.Broker_core.Dominating.broker_only_pairs)
+    (100.0 *. bo.Broker_core.Dominating.ratio)

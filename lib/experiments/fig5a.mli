@@ -1,0 +1,5 @@
+(** Fig. 5a: composition of the full MaxSG alliance (diversified, not a
+    tier-1 monopoly) and the fraction of E2E connections carried by broker
+    nodes alone (paper: > 90%). *)
+
+val run : Ctx.t -> unit

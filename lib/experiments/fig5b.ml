@@ -1,0 +1,54 @@
+module Table = Broker_util.Table
+
+type row = { k : int; fraction : float; upgraded_links : int; connectivity : float }
+
+let compute ctx =
+  let topo = Ctx.topo ctx in
+  let order = Ctx.maxsg_order ctx in
+  let n = Broker_topo.Topology.n topo in
+  let source_set = Ctx.directional_sources ctx in
+  let budgets = [ Ctx.scale_count ctx 1000; Array.length order ] in
+  let fractions = [ 0.0; 0.3; 1.0 ] in
+  List.concat_map
+    (fun k ->
+      let brokers = Array.sub order 0 (min k (Array.length order)) in
+      let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+      List.map
+        (fun fraction ->
+          let upgrades =
+            Broker_core.Directional.upgrade_broker_edges ~rng:(Ctx.rng ctx) topo
+              ~brokers ~fraction
+          in
+          let connectivity =
+            Broker_core.Directional.saturated_sampled ~upgrades ~source_set
+              ~rng:(Ctx.rng ctx) ~sources:(Array.length source_set) topo
+              ~is_broker
+          in
+          {
+            k = Array.length brokers;
+            fraction;
+            upgraded_links = Broker_core.Directional.upgrade_count upgrades;
+            connectivity;
+          })
+        fractions)
+    budgets
+
+let run ctx =
+  Ctx.section "Fig 5b - directional connectivity vs bidirectional upgrades";
+  let t =
+    Table.create
+      ~headers:[ "Brokers"; "Upgraded fraction"; "Upgraded links"; "Connectivity" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          Table.cell_int r.k;
+          Table.cell_pct ~decimals:0 r.fraction;
+          Table.cell_int r.upgraded_links;
+          Table.cell_pct r.connectivity;
+        ])
+    (compute ctx);
+  Table.print t;
+  Printf.printf
+    "Paper at p=30%%: 72.5%% with 1,000 brokers; 84.68%% with the full 3,540-alliance.\n"

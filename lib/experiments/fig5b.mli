@@ -1,0 +1,9 @@
+(** Fig. 5b: directional (business-relationship-constrained) connectivity
+    when a fraction p of inter-broker links is upgraded to bidirectional
+    mutual transit. Paper: at p = 0.3, a 1,000-broker set reaches 72.5%
+    and the full alliance 84.68%. *)
+
+type row = { k : int; fraction : float; upgraded_links : int; connectivity : float }
+
+val compute : Ctx.t -> row list
+val run : Ctx.t -> unit

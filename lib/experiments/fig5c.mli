@@ -1,0 +1,8 @@
+(** Fig. 5c: connectivity under pure business-relationship (valley-free)
+    routing across broker-set sizes — sharply below the bidirectional
+    assumption, motivating the Fig. 5b upgrades. *)
+
+type row = { k : int; directional : float; bidirectional : float }
+
+val compute : Ctx.t -> row list
+val run : Ctx.t -> unit

@@ -1,0 +1,75 @@
+module Table = Broker_util.Table
+
+type result = {
+  bargain : Broker_econ.Bargain.outcome;
+  equilibrium : Broker_econ.Stackelberg.equilibrium;
+  mean_adoption : float;
+  full_adopters : int;
+  customers : int;
+  full_adoption_price : float option;
+}
+
+let compute ?(customers = 200) ctx =
+  let rng = Ctx.rng ctx in
+  let population = Broker_econ.Market.random_population ~rng ~n:customers in
+  let cost = Broker_econ.Market.default_cost in
+  let eq = Broker_econ.Stackelberg.solve population ~cost in
+  (* Employee bargaining at the equilibrium broker price: the AS graph is a
+     (0.99, 4)-graph, so B budgets for up to ceil(beta/2) = 2 hired hops. *)
+  let bargain =
+    match
+      Broker_econ.Bargain.solve ~cross_check:true
+        ~broker_price:(Float.max eq.Broker_econ.Stackelberg.price 1.0)
+        ~hops:2 0.2
+    with
+    | Some b -> b
+    | None -> failwith "Fig6: empty bargaining set at equilibrium price"
+  in
+  let adoptions = eq.Broker_econ.Stackelberg.adoptions in
+  let full = Array.fold_left (fun a x -> if x >= 0.99 then a + 1 else a) 0 adoptions in
+  {
+    bargain;
+    equilibrium = eq;
+    mean_adoption = Broker_util.Stats.mean adoptions;
+    full_adopters = full;
+    customers;
+    full_adoption_price =
+      Broker_econ.Stackelberg.full_adoption_price population ~epsilon:0.01;
+  }
+
+let run ctx =
+  Ctx.section "Fig 6 / Sec 7.1 - bargaining and Stackelberg pricing";
+  let r = compute ctx in
+  let eq = r.equilibrium in
+  let t = Table.create ~headers:[ "Quantity"; "Value" ] in
+  Table.add_row t [ "Customers (non-broker ASes)"; Table.cell_int r.customers ];
+  Table.add_row t
+    [ "Stackelberg price p_B"; Table.cell_float ~decimals:3 eq.Broker_econ.Stackelberg.price ];
+  Table.add_row t
+    [ "Aggregate adoption alpha"; Table.cell_float ~decimals:2 eq.Broker_econ.Stackelberg.alpha ];
+  Table.add_row t [ "Mean adoption a_i"; Table.cell_float ~decimals:3 r.mean_adoption ];
+  Table.add_row t [ "Full adopters (a_i ~ 1)"; Table.cell_int r.full_adopters ];
+  Table.add_row t
+    [
+      "Broker coalition utility";
+      Table.cell_float ~decimals:2 eq.Broker_econ.Stackelberg.broker_utility;
+    ];
+  Table.add_row t
+    [
+      "Price for universal adoption";
+      (match r.full_adoption_price with
+      | Some p -> Table.cell_float ~decimals:3 p
+      | None -> "none (heterogeneous population)");
+    ];
+  Table.add_rule t;
+  Table.add_row t
+    [ "Nash bargaining price p_j"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.price ];
+  Table.add_row t
+    [ "Employee utility u_j"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.u_employee ];
+  Table.add_row t
+    [ "Broker utility per unit u_B"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.u_broker ];
+  Table.print t;
+  Printf.printf
+    "Theorems 5-6: both the bargaining problem and the Stackelberg game admit equilibria (existence verified numerically).\n";
+  assert (r.bargain.Broker_econ.Bargain.u_employee > 0.0);
+  assert (r.bargain.Broker_econ.Bargain.u_broker > 0.0)

@@ -1,0 +1,67 @@
+module Table = Broker_util.Table
+
+type row = {
+  method_name : string;
+  brokers : int;
+  fraction_of_nodes : float;
+  coverage : float;
+  paper_coverage : float option;
+}
+
+let compute ctx =
+  let topo = Ctx.topo ctx in
+  let n = Broker_topo.Topology.n topo in
+  let order = Ctx.maxsg_order ctx in
+  let prefix k = Array.sub order 0 (min k (Array.length order)) in
+  let ours k paper =
+    let brokers = prefix (Ctx.scale_count ctx k) in
+    {
+      method_name = "Our approach (MaxSG)";
+      brokers = Array.length brokers;
+      fraction_of_nodes = float_of_int (Array.length brokers) /. float_of_int n;
+      coverage = Ctx.saturated ctx ~brokers;
+      paper_coverage = Some paper;
+    }
+  in
+  let all_ases =
+    let brokers = Broker_topo.Topology.ases topo in
+    {
+      method_name = "All-AS alliance [13,14,18,19]";
+      brokers = Array.length brokers;
+      fraction_of_nodes = float_of_int (Array.length brokers) /. float_of_int n;
+      coverage = Ctx.saturated ctx ~brokers;
+      paper_coverage = Some 1.0;
+    }
+  in
+  let all_ixps =
+    let brokers = Broker_core.Baselines.ixpb topo ~min_degree:0 in
+    {
+      method_name = "All-IXP mediators [20,21,22]";
+      brokers = Array.length brokers;
+      fraction_of_nodes = float_of_int (Array.length brokers) /. float_of_int n;
+      coverage = Ctx.saturated ctx ~brokers;
+      paper_coverage = Some 0.157;
+    }
+  in
+  [ ours 100 0.5314; ours 1000 0.8541; ours 3540 0.9929; all_ases; all_ixps ]
+
+let run ctx =
+  Ctx.section "Table 1 - alliance size vs QoS coverage";
+  let t =
+    Table.create
+      ~headers:[ "Method"; "Brokers"; "% of nodes"; "Coverage"; "Paper" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row t
+        [
+          r.method_name;
+          Table.cell_int r.brokers;
+          Table.cell_pct r.fraction_of_nodes;
+          Table.cell_pct r.coverage;
+          (match r.paper_coverage with
+          | Some p -> Table.cell_pct p
+          | None -> "-");
+        ])
+    (compute ctx);
+  Table.print t

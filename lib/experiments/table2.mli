@@ -1,0 +1,7 @@
+(** Table 2: summary of the (synthetic) dataset against the paper's
+    collected-dataset numbers. *)
+
+type row = { description : string; measured : int; paper : int option }
+
+val compute : Ctx.t -> row list
+val run : Ctx.t -> unit

@@ -1,0 +1,43 @@
+module Table = Broker_util.Table
+
+let run ctx =
+  Ctx.section "Table 5 - example brokers and rankings (MaxSG selection order)";
+  let topo = Ctx.topo ctx in
+  let brokers = Ctx.maxsg_order ctx in
+  let ranked = Broker_core.Composition.ranking topo ~brokers in
+  let t = Table.create ~headers:[ "Rank"; "Type"; "Name"; "Degree" ] in
+  let show r =
+    Table.add_row t
+      [
+        Table.cell_int r.Broker_core.Composition.rank;
+        Broker_topo.Node_meta.kind_to_string r.Broker_core.Composition.kind;
+        r.Broker_core.Composition.name;
+        Table.cell_int r.Broker_core.Composition.degree;
+      ]
+  in
+  (* Top of the ranking, then the first appearances of the stub kinds the
+     paper's Table 5 samples (content/enterprise). *)
+  Array.iteri (fun i r -> if i < 10 then show r) ranked;
+  Table.add_rule t;
+  let shown = ref [] in
+  Array.iter
+    (fun r ->
+      let kind = r.Broker_core.Composition.kind in
+      let is_stub =
+        match kind with
+        | Broker_topo.Node_meta.Content | Broker_topo.Node_meta.Enterprise -> true
+        | Broker_topo.Node_meta.Tier1 | Broker_topo.Node_meta.Transit
+        | Broker_topo.Node_meta.Access | Broker_topo.Node_meta.Ixp ->
+            false
+      in
+      if is_stub && (not (List.mem kind !shown)) && r.Broker_core.Composition.rank > 10
+      then begin
+        shown := kind :: !shown;
+        show r
+      end)
+    ranked;
+  Table.print t;
+  let ixp_ranks = Broker_core.Composition.first_ixp_ranks topo ~brokers in
+  let firsts = List.filteri (fun i _ -> i < 5) ixp_ranks in
+  Printf.printf "First IXP selection ranks: %s (paper: 1, 4, 7, 9, ...).\n"
+    (String.concat ", " (List.map string_of_int firsts))

@@ -1,0 +1,6 @@
+(** Table 5: example brokers and their selection ranks — the paper
+    highlights that IXPs appear at the very top (Equinix, LINX, DE-CIX
+    ranks 1, 4, 7, 9) alongside tier-1 transit, with content and enterprise
+    ASes appearing deeper. *)
+
+val run : Ctx.t -> unit

@@ -1,0 +1,91 @@
+let generic g ~edge_ok ~max_depth srcs =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Bfs: source out of range";
+      if dist.(s) < 0 then begin
+        dist.(s) <- 0;
+        queue.(!tail) <- s;
+        incr tail
+      end)
+    srcs;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    let du = dist.(u) in
+    if du < max_depth then
+      Graph.iter_neighbors g u (fun v ->
+          if dist.(v) < 0 && edge_ok u v then begin
+            dist.(v) <- du + 1;
+            queue.(!tail) <- v;
+            incr tail
+          end)
+  done;
+  dist
+
+let all_edges _ _ = true
+
+let distances g src = generic g ~edge_ok:all_edges ~max_depth:max_int [ src ]
+
+let distances_bounded g ~max_depth src =
+  generic g ~edge_ok:all_edges ~max_depth [ src ]
+
+let distances_filtered g ~edge_ok src =
+  generic g ~edge_ok ~max_depth:max_int [ src ]
+
+let distances_multi g srcs = generic g ~edge_ok:all_edges ~max_depth:max_int srcs
+
+let reachable_count g src =
+  let dist = distances g src in
+  Array.fold_left (fun acc d -> if d >= 0 then acc + 1 else acc) 0 dist
+
+let farthest g src =
+  let dist = distances g src in
+  let best_v = ref src and best_d = ref 0 in
+  Array.iteri
+    (fun v d ->
+      if d > !best_d then begin
+        best_v := v;
+        best_d := d
+      end)
+    dist;
+  (!best_v, !best_d)
+
+let parents g src =
+  let n = Graph.n g in
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let queue = Array.make n 0 in
+  let head = ref 0 and tail = ref 0 in
+  seen.(src) <- true;
+  queue.(!tail) <- src;
+  incr tail;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    Graph.iter_neighbors g u (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          parent.(v) <- u;
+          queue.(!tail) <- v;
+          incr tail
+        end)
+  done;
+  parent
+
+let path_to ~parents ~src dst =
+  if src = dst then [ src ]
+  else if parents.(dst) < 0 then []
+  else begin
+    let rec walk v acc =
+      if v = src then src :: acc
+      else begin
+        let p = parents.(v) in
+        if p < 0 then [] else walk p (v :: acc)
+      end
+    in
+    walk dst []
+  end

@@ -1,0 +1,39 @@
+(** Breadth-first search variants.
+
+    The broker evaluation repeatedly runs BFS over "restricted" graphs — e.g.
+    the edge [(u,v)] is traversable only when at least one endpoint is a
+    broker. Rather than materializing these subgraphs, the traversals below
+    accept edge/vertex predicates and filter on the fly, which keeps every
+    connectivity query at O(|V| + |E|). *)
+
+val distances : Graph.t -> int -> int array
+(** [distances g src] gives hop distances from [src]; [-1] marks unreachable
+    vertices. *)
+
+val distances_bounded : Graph.t -> max_depth:int -> int -> int array
+(** Stop expanding beyond [max_depth] hops. *)
+
+val distances_filtered :
+  Graph.t -> edge_ok:(int -> int -> bool) -> int -> int array
+(** [distances_filtered g ~edge_ok src]: the step x→y is taken only when
+    [edge_ok x y] holds. [edge_ok] need not be symmetric (directional routing
+    uses an asymmetric predicate). *)
+
+val distances_multi : Graph.t -> int list -> int array
+(** Distance to the nearest of several sources. *)
+
+val reachable_count : Graph.t -> int -> int
+(** Vertices reachable from [src], including [src]. *)
+
+val farthest : Graph.t -> int -> int * int
+(** [(vertex, distance)] of a farthest reachable vertex — one arm of the
+    double-sweep diameter estimate. *)
+
+val parents : Graph.t -> int -> int array
+(** BFS tree parents from [src] ([-1] for the source and unreachable
+    vertices); used to extract shortest paths for Algorithm 2's connector
+    selection. *)
+
+val path_to : parents:int array -> src:int -> int -> int list
+(** Reconstruct the path [src..dst] from a [parents] array. Returns [[]] when
+    [dst] was not reached. *)

@@ -1,0 +1,42 @@
+let shortest_paths ?(edge_ok = fun _ _ -> true) g ~weight src =
+  let n = Graph.n g in
+  if src < 0 || src >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let heap = Broker_util.Heap.create ~initial_capacity:64 Broker_util.Heap.Min in
+  dist.(src) <- 0.0;
+  Broker_util.Heap.push heap ~priority:0.0 src;
+  let continue = ref true in
+  while !continue do
+    match Broker_util.Heap.pop heap with
+    | None -> continue := false
+    | Some (d, u) ->
+        if not settled.(u) then begin
+          settled.(u) <- true;
+          (* Stale entries have d > dist.(u); skipping them is the lazy
+             decrease-key. *)
+          if d <= dist.(u) then
+            Graph.iter_neighbors g u (fun v ->
+                if (not settled.(v)) && edge_ok u v then begin
+                  let w = weight u v in
+                  if w < 0.0 then
+                    invalid_arg "Dijkstra: negative edge weight";
+                  let nd = dist.(u) +. w in
+                  if nd < dist.(v) then begin
+                    dist.(v) <- nd;
+                    parent.(v) <- u;
+                    Broker_util.Heap.push heap ~priority:nd v
+                  end
+                end)
+        end
+  done;
+  (dist, parent)
+
+let shortest_path ?edge_ok g ~weight src dst =
+  let dist, parent = shortest_paths ?edge_ok g ~weight src in
+  if dist.(dst) = infinity then []
+  else begin
+    let rec walk v acc = if v = src then src :: acc else walk parent.(v) (v :: acc) in
+    walk dst []
+  end

@@ -1,0 +1,40 @@
+let to_dot ?(name = "g") ?(vertex_attrs = fun _ -> []) ?(max_vertices = 5000) g =
+  let n = Graph.n g in
+  let keep =
+    if n <= max_vertices then Array.make n true
+    else begin
+      let idx = Array.init n (fun i -> i) in
+      Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) idx;
+      let keep = Array.make n false in
+      for i = 0 to max_vertices - 1 do
+        keep.(idx.(i)) <- true
+      done;
+      keep
+    end
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  Buffer.add_string buf "  node [shape=point];\n";
+  for v = 0 to n - 1 do
+    if keep.(v) then begin
+      let attrs = vertex_attrs v in
+      if attrs <> [] then begin
+        let body =
+          String.concat ", "
+            (List.map (fun (k, value) -> Printf.sprintf "%s=\"%s\"" k value) attrs)
+        in
+        Buffer.add_string buf (Printf.sprintf "  %d [%s];\n" v body)
+      end
+    end
+  done;
+  Graph.iter_edges g (fun u v ->
+      if keep.(u) && keep.(v) then
+        Buffer.add_string buf (Printf.sprintf "  %d -- %d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path text =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc text)

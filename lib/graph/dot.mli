@@ -1,0 +1,16 @@
+(** Graphviz DOT export of (sub)graphs — the reproduction's stand-in for the
+    paper's Fig. 1 and Fig. 4 visualizations. *)
+
+val to_dot :
+  ?name:string ->
+  ?vertex_attrs:(int -> (string * string) list) ->
+  ?max_vertices:int ->
+  Graph.t ->
+  string
+(** [to_dot g] renders the graph in DOT syntax. [vertex_attrs] supplies
+    per-vertex attribute lists (e.g. [["color", "red"]] for brokers).
+    When the graph exceeds [max_vertices] (default 5000), the highest-degree
+    vertices and their induced edges are kept so the output stays renderable. *)
+
+val write_file : path:string -> string -> unit
+(** Write the DOT text to [path]. *)

@@ -1,0 +1,115 @@
+type t = { n : int; off : int array; adj : int array }
+
+let of_edges ~n edges =
+  if n < 0 then invalid_arg "Graph.of_edges: negative n";
+  Array.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_edges: endpoint out of range")
+    edges;
+  (* First pass: degree counting (both directions), skipping self-loops. *)
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        deg.(u) <- deg.(u) + 1;
+        deg.(v) <- deg.(v) + 1
+      end)
+    edges;
+  let off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    off.(i + 1) <- off.(i) + deg.(i)
+  done;
+  let adj = Array.make off.(n) 0 in
+  let cursor = Array.copy off in
+  Array.iter
+    (fun (u, v) ->
+      if u <> v then begin
+        adj.(cursor.(u)) <- v;
+        cursor.(u) <- cursor.(u) + 1;
+        adj.(cursor.(v)) <- u;
+        cursor.(v) <- cursor.(v) + 1
+      end)
+    edges;
+  (* Sort each adjacency list and drop duplicates, compacting in place. *)
+  let write = ref 0 in
+  let new_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    let lo = off.(u) and hi = off.(u + 1) in
+    let slice = Array.sub adj lo (hi - lo) in
+    Array.sort compare slice;
+    new_off.(u) <- !write;
+    let prev = ref (-1) in
+    Array.iter
+      (fun v ->
+        if v <> !prev then begin
+          adj.(!write) <- v;
+          incr write;
+          prev := v
+        end)
+      slice
+  done;
+  new_off.(n) <- !write;
+  { n; off = new_off; adj = Array.sub adj 0 !write }
+
+let n t = t.n
+let m t = (t.off.(t.n) - t.off.(0)) / 2
+
+let degree t u =
+  if u < 0 || u >= t.n then invalid_arg "Graph.degree: vertex out of range";
+  t.off.(u + 1) - t.off.(u)
+
+let iter_neighbors t u f =
+  for i = t.off.(u) to t.off.(u + 1) - 1 do
+    f t.adj.(i)
+  done
+
+let fold_neighbors t u f init =
+  let acc = ref init in
+  for i = t.off.(u) to t.off.(u + 1) - 1 do
+    acc := f !acc t.adj.(i)
+  done;
+  !acc
+
+let neighbors t u = Array.sub t.adj t.off.(u) (t.off.(u + 1) - t.off.(u))
+
+let mem_edge t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then false
+  else begin
+    let lo = ref t.off.(u) and hi = ref (t.off.(u + 1) - 1) in
+    let found = ref false in
+    while (not !found) && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let w = t.adj.(mid) in
+      if w = v then found := true
+      else if w < v then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+  end
+
+let iter_edges t f =
+  for u = 0 to t.n - 1 do
+    for i = t.off.(u) to t.off.(u + 1) - 1 do
+      let v = t.adj.(i) in
+      if u < v then f u v
+    done
+  done
+
+let edges t =
+  let out = Array.make (m t) (0, 0) in
+  let i = ref 0 in
+  iter_edges t (fun u v ->
+      out.(!i) <- (u, v);
+      incr i);
+  out
+
+let max_degree t =
+  let best = ref 0 in
+  for u = 0 to t.n - 1 do
+    best := max !best (degree t u)
+  done;
+  !best
+
+let degrees t = Array.init t.n (degree t)
+let is_empty t = t.n = 0

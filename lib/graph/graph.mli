@@ -1,0 +1,42 @@
+(** Immutable undirected graphs in compressed sparse row (CSR) form.
+
+    Vertices are the integers [0 .. n-1]. Parallel edges and self-loops are
+    removed at construction. Adjacency lists are sorted, enabling O(log d)
+    membership tests. This is the representation every algorithm in the
+    reproduction operates on; at the paper's scale (52,079 vertices, ~700k
+    directed arcs) the whole structure fits comfortably in a few MB. *)
+
+type t
+
+val of_edges : n:int -> (int * int) array -> t
+(** [of_edges ~n edges] builds the graph on [n] vertices from undirected edge
+    pairs. Duplicates (in either orientation) and self-loops are dropped.
+    @raise Invalid_argument when an endpoint is outside [0..n-1]. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of (undirected) edges. *)
+
+val degree : t -> int -> int
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+val fold_neighbors : t -> int -> ('a -> int -> 'a) -> 'a -> 'a
+val neighbors : t -> int -> int array
+(** Fresh array of the (sorted) neighbors. *)
+
+val mem_edge : t -> int -> int -> bool
+(** O(log degree) adjacency test. *)
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** Each undirected edge exactly once, with [u < v]. *)
+
+val edges : t -> (int * int) array
+(** All undirected edges, [u < v], fresh array. *)
+
+val max_degree : t -> int
+val degrees : t -> int array
+(** Fresh array of all vertex degrees. *)
+
+val is_empty : t -> bool

@@ -1,0 +1,28 @@
+(** Gao–Rexford routing policies over AS business relationships.
+
+    A path is valley-free when it consists of zero or more
+    customer→provider hops, at most one peering hop, then zero or more
+    provider→customer hops. IXP fabric nodes are transparent: traversing
+    AS→IXP→AS forms a single peering segment (DESIGN.md §5). *)
+
+type hop_class =
+  | Up  (** customer → provider *)
+  | Down  (** provider → customer *)
+  | Flat  (** settlement-free peering (or unknown, treated as peering) *)
+  | Into_fabric  (** AS → IXP *)
+  | Out_of_fabric  (** IXP → AS *)
+
+val classify : Broker_topo.Topology.t -> int -> int -> hop_class
+(** Classification of the directed hop [u → v].
+    @raise Invalid_argument when [(u,v)] is not an edge of the topology. *)
+
+val valley_free : Broker_topo.Topology.t -> int list -> bool
+(** Whether a vertex path obeys the valley-free rule. Paths shorter than 2
+    vertices are trivially valid; non-edges make the path invalid. *)
+
+val exports_to : Broker_topo.Topology.t -> learned_from:hop_class -> toward:hop_class -> bool
+(** The Gao–Rexford export filter: a route learned from a customer ([Down]
+    hop toward us... expressed from the exporter's perspective) is exported
+    to everyone; routes learned from peers or providers are exported to
+    customers only. [learned_from]/[toward] classify the exporter's view of
+    the neighbor the route came from / goes to. *)

@@ -1,0 +1,13 @@
+(** Time-ordered event queue for the discrete-event simulator. Ties are
+    served in insertion order (stable), which keeps runs deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> time:float -> 'a -> unit
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+val size : 'a t -> int
+val is_empty : 'a t -> bool

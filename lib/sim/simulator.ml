@@ -1,0 +1,180 @@
+module G = Broker_graph.Graph
+
+type config = {
+  capacity_of : int -> float;
+  price : float;
+  employee_cost : float;
+}
+
+let uniform_capacity c =
+  { capacity_of = (fun _ -> c); price = 1.0; employee_cost = 0.2 }
+
+let degree_capacity g ~factor =
+  {
+    capacity_of = (fun v -> factor *. float_of_int (max 1 (G.degree g v)));
+    price = 1.0;
+    employee_cost = 0.2;
+  }
+
+type stats = {
+  offered : int;
+  admitted : int;
+  rejected_no_path : int;
+  rejected_capacity : int;
+  admission_rate : float;
+  mean_hops : float;
+  employee_hop_fraction : float;
+  peak_in_flight : int;
+  mean_broker_utilization : float;
+  revenue : float;
+}
+
+type departure = { path_brokers : int array; demand : float }
+
+let run topo ~brokers ~sessions config =
+  let g = topo.Broker_topo.Topology.graph in
+  let n = G.n g in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  (* Per-broker capacity accounting with lazy time-integrated usage. *)
+  let used = Hashtbl.create 1024 in
+  let area = Hashtbl.create 1024 in
+  let last_change = Hashtbl.create 1024 in
+  let get tbl b = Option.value ~default:0.0 (Hashtbl.find_opt tbl b) in
+  let touch b t =
+    let lu = get last_change b in
+    Hashtbl.replace area b (get area b +. (get used b *. (t -. lu)));
+    Hashtbl.replace last_change b t
+  in
+  let adjust b t delta =
+    touch b t;
+    Hashtbl.replace used b (get used b +. delta)
+  in
+  (* Hop-shortest dominated path per distinct pair, cached. *)
+  let path_cache : (int * int, int array option) Hashtbl.t = Hashtbl.create 1024 in
+  let path_for src dst =
+    match Hashtbl.find_opt path_cache (src, dst) with
+    | Some p -> p
+    | None ->
+        let p =
+          match Broker_core.Dominating.find_dominated_path g ~is_broker src dst with
+          | [] -> None
+          | path -> Some (Array.of_list path)
+        in
+        Hashtbl.replace path_cache (src, dst) p;
+        p
+  in
+  let departures : departure Event_queue.t = Event_queue.create () in
+  let offered = ref 0 in
+  let admitted = ref 0 in
+  let rejected_no_path = ref 0 in
+  let rejected_capacity = ref 0 in
+  let hops_total = ref 0 in
+  let employee_hops_total = ref 0 in
+  let in_flight = ref 0 in
+  let peak_in_flight = ref 0 in
+  let revenue = ref 0.0 in
+  let last_arrival = ref neg_infinity in
+  let process_departures_until t =
+    let continue = ref true in
+    while !continue do
+      match Event_queue.peek_time departures with
+      | Some dt when dt <= t -> begin
+          match Event_queue.pop departures with
+          | Some (dt, dep) ->
+              Array.iter (fun b -> adjust b dt (-.dep.demand)) dep.path_brokers;
+              decr in_flight
+          | None -> assert false
+        end
+      | Some _ | None -> continue := false
+    done
+  in
+  Array.iter
+    (fun (s : Workload.session) ->
+      if s.Workload.arrival < !last_arrival then
+        invalid_arg "Simulator.run: sessions not sorted by arrival";
+      last_arrival := s.Workload.arrival;
+      incr offered;
+      process_departures_until s.Workload.arrival;
+      match path_for s.Workload.src s.Workload.dst with
+      | None -> incr rejected_no_path
+      | Some path ->
+          let path_brokers =
+            Array.of_list
+              (List.filter is_broker (Array.to_list path))
+          in
+          let fits =
+            Array.for_all
+              (fun b ->
+                get used b +. s.Workload.demand
+                <= config.capacity_of b +. 1e-9)
+              path_brokers
+          in
+          if not fits then incr rejected_capacity
+          else begin
+            incr admitted;
+            incr in_flight;
+            if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
+            Array.iter
+              (fun b -> adjust b s.Workload.arrival s.Workload.demand)
+              path_brokers;
+            Event_queue.add departures
+              ~time:(s.Workload.arrival +. s.Workload.duration)
+              { path_brokers; demand = s.Workload.demand };
+            let hops = Array.length path - 1 in
+            hops_total := !hops_total + hops;
+            (* Employees: intermediate non-broker vertices. *)
+            let employees = ref 0 in
+            for i = 1 to Array.length path - 2 do
+              if not (is_broker path.(i)) then incr employees
+            done;
+            employee_hops_total := !employee_hops_total + (2 * !employees);
+            let dt = s.Workload.duration *. s.Workload.demand in
+            revenue :=
+              !revenue
+              +. (2.0 *. config.price *. dt)
+              -. (config.employee_cost *. float_of_int (2 * !employees) *. dt)
+          end)
+    sessions;
+  (* Drain remaining departures to close the utilization integrals. *)
+  let horizon =
+    let rec drain acc =
+      match Event_queue.pop departures with
+      | Some (t, dep) ->
+          Array.iter (fun b -> adjust b t (-.dep.demand)) dep.path_brokers;
+          drain (Float.max acc t)
+      | None -> acc
+    in
+    drain (Float.max !last_arrival 0.0)
+  in
+  let mean_utilization =
+    let touched = Hashtbl.fold (fun b _ acc -> b :: acc) last_change [] in
+    let sum = ref 0.0 and count = ref 0 in
+    List.iter
+      (fun b ->
+        touch b horizon;
+        let cap = config.capacity_of b in
+        if cap > 0.0 && horizon > 0.0 then begin
+          sum := !sum +. (get area b /. (cap *. horizon));
+          incr count
+        end)
+      touched;
+    if !count = 0 then 0.0 else !sum /. float_of_int !count
+  in
+  {
+    offered = !offered;
+    admitted = !admitted;
+    rejected_no_path = !rejected_no_path;
+    rejected_capacity = !rejected_capacity;
+    admission_rate =
+      (if !offered = 0 then 0.0
+       else float_of_int !admitted /. float_of_int !offered);
+    mean_hops =
+      (if !admitted = 0 then 0.0
+       else float_of_int !hops_total /. float_of_int !admitted);
+    employee_hop_fraction =
+      (if !hops_total = 0 then 0.0
+       else float_of_int !employee_hops_total /. float_of_int !hops_total);
+    peak_in_flight = !peak_in_flight;
+    mean_broker_utilization = mean_utilization;
+    revenue = !revenue;
+  }

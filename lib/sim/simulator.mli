@@ -1,0 +1,51 @@
+(** Flow-level discrete-event simulation of the brokerage scheme.
+
+    Sessions arrive between AS pairs and request a QoS-guaranteed
+    B-dominated path. Admission control: every *broker* on the selected
+    path must have spare capacity for the session's demand for its whole
+    duration (brokers are the supervision/forwarding bottleneck the paper
+    centralizes; non-broker endpoints are not capacity-constrained).
+    Admitted sessions hold their reservation until departure; blocked ones
+    fall back to best-effort BGP and count as rejected.
+
+    Paths are hop-shortest dominated paths, computed once per distinct
+    (src, dst) pair and cached. Brokers earn [2·price·demand·duration] per
+    admitted session (both endpoints pay, as in Fig. 6) and pay
+    [employee_cost] per non-broker transit hop used. *)
+
+type config = {
+  capacity_of : int -> float;  (** per-broker capacity in demand units *)
+  price : float;  (** per unit demand-time charged at each end *)
+  employee_cost : float;  (** per employee hop, per unit demand-time *)
+}
+
+val uniform_capacity : float -> config
+(** Same capacity everywhere, price 1.0, employee cost 0.2. *)
+
+val degree_capacity : Broker_graph.Graph.t -> factor:float -> config
+(** Capacity proportional to broker degree — big hubs carry more. *)
+
+type stats = {
+  offered : int;
+  admitted : int;
+  rejected_no_path : int;
+  rejected_capacity : int;
+  admission_rate : float;
+  mean_hops : float;  (** over admitted sessions *)
+  employee_hop_fraction : float;
+      (** fraction of admitted-session hops crossing a hired non-broker *)
+  peak_in_flight : int;
+  mean_broker_utilization : float;
+      (** time-average of used/capacity over brokers that served traffic *)
+  revenue : float;  (** broker coalition net revenue *)
+}
+
+val run :
+  Broker_topo.Topology.t ->
+  brokers:int array ->
+  sessions:Workload.session array ->
+  config ->
+  stats
+(** Deterministic given the inputs. Sessions must be sorted by arrival
+    (as {!Workload.generate} produces).
+    @raise Invalid_argument on out-of-order arrivals. *)

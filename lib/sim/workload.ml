@@ -1,0 +1,36 @@
+type session = {
+  id : int;
+  src : int;
+  dst : int;
+  arrival : float;
+  duration : float;
+  demand : float;
+}
+
+type params = { arrival_rate : float; mean_duration : float; demand : float }
+
+let default_params = { arrival_rate = 10.0; mean_duration = 5.0; demand = 1.0 }
+
+let generate ~rng model ~n_sessions params =
+  if n_sessions < 0 then invalid_arg "Workload.generate: negative count";
+  if params.arrival_rate <= 0.0 || params.mean_duration <= 0.0 then
+    invalid_arg "Workload.generate: rates must be positive";
+  let masses = model.Broker_core.Traffic.masses in
+  let draw = Broker_util.Sampling.weighted_alias masses in
+  let clock = ref 0.0 in
+  Array.init n_sessions (fun id ->
+      clock := !clock +. Broker_util.Xrandom.exponential rng params.arrival_rate;
+      let src = draw rng in
+      let dst = ref (draw rng) in
+      while !dst = src do
+        dst := draw rng
+      done;
+      {
+        id;
+        src;
+        dst = !dst;
+        arrival = !clock;
+        duration =
+          Broker_util.Xrandom.exponential rng (1.0 /. params.mean_duration);
+        demand = params.demand;
+      })

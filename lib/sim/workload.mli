@@ -1,0 +1,33 @@
+(** Session workload generation for the brokerage simulator.
+
+    Sessions are QoS flows between AS pairs: Poisson arrivals, exponential
+    holding times, unit (configurable) bandwidth demand. Endpoints are
+    drawn from the gravity-model traffic masses, so demand concentrates on
+    the popular eyeball/content pairs — the VoIP/video traffic mix that
+    motivates the paper. *)
+
+type session = {
+  id : int;
+  src : int;
+  dst : int;
+  arrival : float;
+  duration : float;
+  demand : float;
+}
+
+type params = {
+  arrival_rate : float;  (** sessions per time unit *)
+  mean_duration : float;
+  demand : float;  (** bandwidth units per session *)
+}
+
+val default_params : params
+(** arrival_rate 10, mean_duration 5, demand 1. *)
+
+val generate :
+  rng:Broker_util.Xrandom.t ->
+  Broker_core.Traffic.model ->
+  n_sessions:int ->
+  params ->
+  session array
+(** Sessions sorted by arrival time; [src <> dst] always. *)

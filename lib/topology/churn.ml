@@ -1,0 +1,71 @@
+module G = Broker_graph.Graph
+module R = Broker_util.Xrandom
+
+let grow ~rng topo ~new_ases =
+  if new_ases < 0 then invalid_arg "Churn.grow: negative growth";
+  let old_n = Topology.n topo in
+  let n = old_n + new_ases in
+  let old_edges = G.edges topo.Topology.graph in
+  let edges = ref (Array.to_list old_edges) in
+  let relations = Node_meta.Relations.create () in
+  (* Copy existing relations onto the same ids. *)
+  Array.iter
+    (fun (u, v) ->
+      match Node_meta.Relations.find topo.Topology.relations u v with
+      | Some Node_meta.Customer_provider ->
+          if Node_meta.Relations.customer_of topo.Topology.relations u v then
+            Node_meta.Relations.add_c2p relations ~customer:u ~provider:v
+          else Node_meta.Relations.add_c2p relations ~customer:v ~provider:u
+      | Some Node_meta.Peer -> Node_meta.Relations.add_peer relations u v
+      | Some Node_meta.Ixp_member ->
+          if Topology.is_ixp topo v then
+            Node_meta.Relations.add_ixp_member relations ~as_node:u ~ixp:v
+          else Node_meta.Relations.add_ixp_member relations ~as_node:v ~ixp:u
+      | None -> ())
+    old_edges;
+  (* Degree-weighted provider pool over the existing transit core. *)
+  let core = ref [] in
+  for v = 0 to old_n - 1 do
+    if topo.Topology.tiers.(v) >= 1 && topo.Topology.tiers.(v) <= 2 then
+      for _ = 0 to G.degree topo.Topology.graph v do
+        core := v :: !core
+      done
+  done;
+  let pool = Array.of_list !core in
+  if Array.length pool = 0 then invalid_arg "Churn.grow: no transit core";
+  let ixps = Topology.ixps topo in
+  let kinds = Array.make n Node_meta.Enterprise in
+  let tiers = Array.make n 3 in
+  let names = Array.make n "" in
+  Array.blit topo.Topology.kinds 0 kinds 0 old_n;
+  Array.blit topo.Topology.tiers 0 tiers 0 old_n;
+  Array.blit topo.Topology.names 0 names 0 old_n;
+  for v = old_n to n - 1 do
+    let r = R.float rng 1.0 in
+    kinds.(v) <-
+      (if r < 0.08 then Node_meta.Content
+       else if r < 0.53 then Node_meta.Access
+       else Node_meta.Enterprise);
+    names.(v) <- Printf.sprintf "NEW-AS%d" v;
+    (* 1-3 providers, degree-preferential. *)
+    let wanted = 1 + R.int rng 3 in
+    let chosen = Hashtbl.create 4 in
+    let tries = ref 0 in
+    while Hashtbl.length chosen < wanted && !tries < 40 do
+      incr tries;
+      Hashtbl.replace chosen pool.(R.int rng (Array.length pool)) ()
+    done;
+    Hashtbl.iter
+      (fun p () ->
+        edges := (v, p) :: !edges;
+        Node_meta.Relations.add_c2p relations ~customer:v ~provider:p)
+      chosen;
+    (* ~40% also join a random IXP, mirroring the base topology. *)
+    if Array.length ixps > 0 && R.bernoulli rng 0.4 then begin
+      let x = ixps.(R.int rng (Array.length ixps)) in
+      edges := (v, x) :: !edges;
+      Node_meta.Relations.add_ixp_member relations ~as_node:v ~ixp:x
+    end
+  done;
+  let graph = G.of_edges ~n (Array.of_list !edges) in
+  { Topology.graph; kinds; tiers; names; relations }

@@ -1,0 +1,78 @@
+module G = Broker_graph.Graph
+module R = Broker_util.Xrandom
+
+let erdos_renyi ~rng ~n ~m =
+  if n < 2 then invalid_arg "Classic.erdos_renyi: need n >= 2";
+  let edges =
+    Array.init m (fun _ ->
+        let u = R.int rng n in
+        let v = ref (R.int rng n) in
+        while !v = u do
+          v := R.int rng n
+        done;
+        (u, !v))
+  in
+  G.of_edges ~n edges
+
+let watts_strogatz ~rng ~n ~k ~beta =
+  if k mod 2 <> 0 || k <= 0 then invalid_arg "Classic.watts_strogatz: k must be positive and even";
+  if n <= k then invalid_arg "Classic.watts_strogatz: need n > k";
+  let edges = ref [] in
+  (* Ring lattice edges, possibly rewiring the far endpoint. *)
+  for u = 0 to n - 1 do
+    for j = 1 to k / 2 do
+      let v = (u + j) mod n in
+      if R.float rng 1.0 < beta then begin
+        let w = ref (R.int rng n) in
+        while !w = u do
+          w := R.int rng n
+        done;
+        edges := (u, !w) :: !edges
+      end
+      else edges := (u, v) :: !edges
+    done
+  done;
+  G.of_edges ~n (Array.of_list !edges)
+
+let barabasi_albert ~rng ~n ~m =
+  if m < 1 then invalid_arg "Classic.barabasi_albert: m must be >= 1";
+  if n <= m then invalid_arg "Classic.barabasi_albert: need n > m";
+  let edges = ref [] in
+  (* Growable repeated-endpoints array implements preferential attachment:
+     a vertex appears once per incident edge, so uniform draws are
+     degree-weighted. *)
+  let endpoints = ref (Array.make 1024 0) in
+  let n_endpoints = ref 0 in
+  let push v =
+    if !n_endpoints = Array.length !endpoints then begin
+      let bigger = Array.make (2 * !n_endpoints) 0 in
+      Array.blit !endpoints 0 bigger 0 !n_endpoints;
+      endpoints := bigger
+    end;
+    !endpoints.(!n_endpoints) <- v;
+    incr n_endpoints
+  in
+  (* Seed: clique on vertices 0..m. *)
+  for u = 0 to m do
+    for v = u + 1 to m do
+      edges := (u, v) :: !edges;
+      push u;
+      push v
+    done
+  done;
+  for u = m + 1 to n - 1 do
+    let chosen = Hashtbl.create (2 * m) in
+    let tries = ref 0 in
+    while Hashtbl.length chosen < m && !tries < 50 * m do
+      incr tries;
+      let v = !endpoints.(R.int rng !n_endpoints) in
+      if v <> u then Hashtbl.replace chosen v ()
+    done;
+    Hashtbl.iter
+      (fun v () ->
+        edges := (u, v) :: !edges;
+        push u;
+        push v)
+      chosen
+  done;
+  G.of_edges ~n (Array.of_list !edges)

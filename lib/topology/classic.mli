@@ -1,0 +1,19 @@
+(** Classic random-graph generators — the comparison topologies of the
+    paper's Table 3 (ER-Random, WS-Small-World, BA-Scale-free). All are
+    deterministic given the RNG. *)
+
+val erdos_renyi :
+  rng:Broker_util.Xrandom.t -> n:int -> m:int -> Broker_graph.Graph.t
+(** G(n, m): [m] uniform random edges (duplicates collapse, so the realized
+    edge count can be marginally below [m] on dense requests). *)
+
+val watts_strogatz :
+  rng:Broker_util.Xrandom.t -> n:int -> k:int -> beta:float -> Broker_graph.Graph.t
+(** Ring lattice on [n] vertices, each joined to its [k] nearest neighbours
+    ([k] even), with each edge rewired to a random endpoint with probability
+    [beta]. *)
+
+val barabasi_albert :
+  rng:Broker_util.Xrandom.t -> n:int -> m:int -> Broker_graph.Graph.t
+(** Preferential attachment: [m] edges per arriving vertex, seeded with an
+    [m+1]-clique. *)

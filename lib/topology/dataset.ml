@@ -1,0 +1,118 @@
+module G = Broker_graph.Graph
+
+type summary = {
+  ixps : int;
+  ases : int;
+  max_connected_subgraph : int;
+  as_as_connections : int;
+  as_ixp_connections : int;
+  ixp_connected_fraction : float;
+}
+
+let summarize t =
+  let comps = Broker_graph.Components.compute t.Topology.graph in
+  let _, largest = Broker_graph.Components.largest comps in
+  {
+    ixps = Topology.count_kind t Node_meta.Ixp;
+    ases = Topology.n t - Topology.count_kind t Node_meta.Ixp;
+    max_connected_subgraph = largest;
+    as_as_connections = Topology.as_as_edges t;
+    as_ixp_connections = Topology.as_ixp_edges t;
+    ixp_connected_fraction = Topology.ixp_connected_fraction t;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>IXPs: %d@,ASes: %d@,Max connected subgraph: %d@,AS-AS connections: %d@,AS-IXP connections: %d@,ASes with IXP membership: %.1f%%@]"
+    s.ixps s.ases s.max_connected_subgraph s.as_as_connections
+    s.as_ixp_connections
+    (100.0 *. s.ixp_connected_fraction)
+
+let kind_code = function
+  | Node_meta.Tier1 -> "t1"
+  | Node_meta.Transit -> "tr"
+  | Node_meta.Access -> "ac"
+  | Node_meta.Content -> "co"
+  | Node_meta.Enterprise -> "en"
+  | Node_meta.Ixp -> "ix"
+
+let kind_of_code = function
+  | "t1" -> Node_meta.Tier1
+  | "tr" -> Node_meta.Transit
+  | "ac" -> Node_meta.Access
+  | "co" -> Node_meta.Content
+  | "en" -> Node_meta.Enterprise
+  | "ix" -> Node_meta.Ixp
+  | s -> failwith (Printf.sprintf "Dataset.load: unknown kind %S" s)
+
+let save ~path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let n = Topology.n t in
+      Printf.fprintf oc "brokerset-topology 1 %d %d\n" n (G.m t.Topology.graph);
+      for v = 0 to n - 1 do
+        Printf.fprintf oc "n %d %s %d %s\n" v
+          (kind_code t.Topology.kinds.(v))
+          t.Topology.tiers.(v) t.Topology.names.(v)
+      done;
+      G.iter_edges t.Topology.graph (fun u v ->
+          let rel =
+            match Node_meta.Relations.find t.Topology.relations u v with
+            | Some Node_meta.Customer_provider ->
+                if Node_meta.Relations.customer_of t.Topology.relations u v
+                then "cp"
+                else "pc"
+            | Some Node_meta.Peer -> "pp"
+            | Some Node_meta.Ixp_member -> "im"
+            | None -> "--"
+          in
+          Printf.fprintf oc "e %d %d %s\n" u v rel))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let header = input_line ic in
+      let n, m =
+        match String.split_on_char ' ' header with
+        | [ "brokerset-topology"; "1"; n; m ] -> (int_of_string n, int_of_string m)
+        | _ -> failwith "Dataset.load: bad header"
+      in
+      let kinds = Array.make n Node_meta.Enterprise in
+      let tiers = Array.make n 3 in
+      let names = Array.make n "" in
+      let relations = Node_meta.Relations.create () in
+      let edges = Array.make m (0, 0) in
+      let n_edges = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char ' ' line with
+           | "n" :: v :: kind :: tier :: name_parts ->
+               let v = int_of_string v in
+               kinds.(v) <- kind_of_code kind;
+               tiers.(v) <- int_of_string tier;
+               names.(v) <- String.concat " " name_parts
+           | [ "e"; u; v; rel ] ->
+               let u = int_of_string u and v = int_of_string v in
+               edges.(!n_edges) <- (u, v);
+               incr n_edges;
+               (match rel with
+               | "cp" -> Node_meta.Relations.add_c2p relations ~customer:u ~provider:v
+               | "pc" -> Node_meta.Relations.add_c2p relations ~customer:v ~provider:u
+               | "pp" -> Node_meta.Relations.add_peer relations u v
+               | "im" ->
+                   if Node_meta.kind_equal kinds.(v) Node_meta.Ixp then
+                     Node_meta.Relations.add_ixp_member relations ~as_node:u ~ixp:v
+                   else Node_meta.Relations.add_ixp_member relations ~as_node:v ~ixp:u
+               | "--" -> ()
+               | s -> failwith (Printf.sprintf "Dataset.load: unknown relation %S" s))
+           | [] | [ "" ] -> ()
+           | _ -> failwith "Dataset.load: malformed line"
+         done
+       with End_of_file -> ());
+      let graph = G.of_edges ~n (Array.sub edges 0 !n_edges) in
+      { Topology.graph; kinds; tiers; names; relations })

@@ -1,0 +1,53 @@
+(** Node and edge metadata of the AS-level Internet topology.
+
+    Node kinds follow the classification the paper borrows from CAIDA
+    (Transit/Access, Content, Enterprise) plus Tier-1 transit and IXPs.
+    Edge relations follow the Gao business-relationship model: a link is
+    either customer-to-provider, settlement-free peering, or an IXP
+    membership (AS connected to an IXP fabric). *)
+
+type kind =
+  | Tier1  (** top-level transit provider, member of the tier-1 clique *)
+  | Transit  (** regional/national transit & access provider *)
+  | Access  (** eyeball/access network *)
+  | Content  (** content provider / CDN *)
+  | Enterprise  (** enterprise stub network *)
+  | Ixp  (** Internet eXchange Point fabric, modelled as a node *)
+
+val kind_to_string : kind -> string
+val kind_equal : kind -> kind -> bool
+val is_as : kind -> bool
+(** Every kind except [Ixp]. *)
+
+val all_kinds : kind list
+
+type relation =
+  | Customer_provider
+      (** the canonical lower endpoint pays the higher one; orientation is
+          stored by {!Relations.add_c2p} *)
+  | Peer
+  | Ixp_member
+
+(** Business relations of all edges of a topology. Lookup is
+    orientation-aware: [customer_of t u v] answers whether [u] buys transit
+    from [v]. *)
+module Relations : sig
+  type t
+
+  val create : unit -> t
+  val add_c2p : t -> customer:int -> provider:int -> unit
+  val add_peer : t -> int -> int -> unit
+  val add_ixp_member : t -> as_node:int -> ixp:int -> unit
+
+  val find : t -> int -> int -> relation option
+  (** Relation of the undirected edge, if recorded. *)
+
+  val customer_of : t -> int -> int -> bool
+  (** [customer_of t u v] iff the edge is C2P with [u] the customer. *)
+
+  val provider_of : t -> int -> int -> bool
+  val peers : t -> int -> int -> bool
+  (** True for both [Peer] and [Ixp_member] edges. *)
+
+  val cardinal : t -> int
+end

@@ -1,0 +1,43 @@
+(** Fixed-capacity bit sets over the integers [0 .. capacity-1].
+
+    Used pervasively for broker sets and coverage bookkeeping where the
+    universe is the vertex set of a graph. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe size [n]. *)
+
+val capacity : t -> int
+(** Universe size the set was created with. *)
+
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+(** Number of members; O(words). *)
+
+val is_empty : t -> bool
+
+val clear : t -> unit
+(** Remove all members. *)
+
+val copy : t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Iterate members in increasing order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val to_list : t -> int list
+val of_list : int -> int list -> t
+val to_array : t -> int array
+
+val union_into : into:t -> t -> unit
+(** [union_into ~into s] adds every member of [s] to [into]. Capacities must
+    match. *)
+
+val inter_cardinal : t -> t -> int
+(** Size of the intersection; capacities must match. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,28 @@
+(** Resizable binary heap of [int] payloads keyed by [float] priorities.
+
+    The heap does not support in-place decrease-key; algorithms that need it
+    (Dijkstra, CELF lazy greedy) push duplicates and discard stale entries on
+    pop, which is asymptotically equivalent and much simpler. *)
+
+type order = Min | Max
+
+type t
+
+val create : ?initial_capacity:int -> order -> t
+
+val size : t -> int
+val is_empty : t -> bool
+
+val push : t -> priority:float -> int -> unit
+
+val peek : t -> (float * int) option
+(** Best (priority, payload) without removing it. *)
+
+val pop : t -> (float * int) option
+(** Remove and return the best entry: smallest priority for [Min], largest for
+    [Max]. *)
+
+val pop_exn : t -> float * int
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : t -> unit

@@ -1,0 +1,44 @@
+let domain_count () =
+  match Sys.getenv_opt "REPRO_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some d when d >= 1 -> d
+      | Some _ | None -> 1)
+  | None -> min 8 (Domain.recommended_domain_count ())
+
+let chunked ?domains ~n ~worker ~merge init =
+  let domains =
+    match domains with Some d -> max 1 d | None -> domain_count ()
+  in
+  if n <= 0 then init
+  else if domains = 1 || n < 4 then merge init (worker ~lo:0 ~hi:n)
+  else begin
+    let k = min domains n in
+    let chunk = (n + k - 1) / k in
+    let handles =
+      List.init k (fun i ->
+          let lo = i * chunk in
+          let hi = min n (lo + chunk) in
+          Domain.spawn (fun () -> worker ~lo ~hi))
+    in
+    (* Join in chunk order: the fold is deterministic. *)
+    List.fold_left (fun acc h -> merge acc (Domain.join h)) init handles
+  end
+
+let map_array ?domains f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    (* arr.(0) is computed twice; acceptable for the pure f required. *)
+    let _ =
+      chunked ?domains ~n
+        ~worker:(fun ~lo ~hi ->
+          for i = lo to hi - 1 do
+            out.(i) <- f arr.(i)
+          done)
+        ~merge:(fun () () -> ())
+        ()
+    in
+    out
+  end

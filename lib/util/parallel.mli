@@ -1,0 +1,29 @@
+(** Deterministic fork-join parallelism over OCaml 5 domains.
+
+    The connectivity estimator runs hundreds of independent BFS traversals
+    over an immutable graph; this module fans those out over domains.
+    Work is split into fixed contiguous chunks and the per-chunk
+    accumulators are merged in chunk order, so results are bit-identical
+    to the sequential run regardless of scheduling.
+
+    The domain budget comes from [Domain.recommended_domain_count],
+    clamped to 8 and overridable with the [REPRO_DOMAINS] environment
+    variable (set [REPRO_DOMAINS=1] to force sequential execution). *)
+
+val domain_count : unit -> int
+
+val chunked :
+  ?domains:int ->
+  n:int ->
+  worker:(lo:int -> hi:int -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  'acc ->
+  'acc
+(** [chunked ~n ~worker ~merge init] partitions [0..n-1] into [domains]
+    contiguous chunks, runs [worker ~lo ~hi] on each (half-open ranges) in
+    parallel, and folds the results with [merge] in chunk order starting
+    from [init]. [worker] must not mutate shared state. Runs sequentially
+    when [n] is small or only one domain is available. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]; [f] must be pure w.r.t. shared state. *)

@@ -1,0 +1,30 @@
+(** Aligned plain-text tables for the experiment harness output.
+
+    Every table/figure reproduction prints through this module so the bench
+    output is uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** A table with the given column headers; alignment defaults to [Right] for
+    cells that parse as numbers, [Left] otherwise. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the arity differs from the headers. *)
+
+val add_rule : t -> unit
+(** Insert a horizontal separator at this position. *)
+
+val render : t -> string
+(** The formatted table, newline terminated. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val cell_float : ?decimals:int -> float -> string
+val cell_pct : ?decimals:int -> float -> string
+(** [cell_pct x] renders the fraction [x] as a percentage string. *)
+
+val cell_int : int -> string

@@ -1,0 +1,24 @@
+(** Disjoint-set forest with union by size and path compression.
+
+    Tracks component sizes, the number of components and the largest
+    component, which the MaxSubGraph-Greedy heuristic queries each step. *)
+
+type t
+
+val create : int -> t
+(** [create n] has elements [0..n-1], each in its own singleton. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two components. Returns [true] if they were distinct. *)
+
+val same : t -> int -> int -> bool
+val size : t -> int -> int
+(** Size of the component containing the element. *)
+
+val count : t -> int
+(** Number of components. *)
+
+val max_component_size : t -> int

@@ -1,0 +1,449 @@
+(* Tests for Broker_core: Coverage, Greedy_mcb, Maxsg, Mcbg, Baselines,
+   Connectivity, Alpha_beta, Path_constraint, Dominating, Directional,
+   Composition. *)
+
+open Helpers
+module G = Broker_graph.Graph
+module Coverage = Broker_core.Coverage
+module Greedy = Broker_core.Greedy_mcb
+module Maxsg = Broker_core.Maxsg
+module Mcbg = Broker_core.Mcbg
+module Baselines = Broker_core.Baselines
+module Conn = Broker_core.Connectivity
+module Dominating = Broker_core.Dominating
+
+(* ---------- Coverage ---------- *)
+
+let test_coverage_star () =
+  let g = star_graph 10 in
+  let cov = Coverage.create g in
+  check_int "empty f" 0 (Coverage.f cov);
+  check_int "gain of center" 10 (Coverage.gain cov 0);
+  check_int "gain of leaf" 2 (Coverage.gain cov 1);
+  Coverage.add cov 0;
+  check_int "full coverage" 10 (Coverage.f cov);
+  check_int "no more gain" 0 (Coverage.gain cov 5);
+  check_bool "is broker" true (Coverage.is_broker cov 0);
+  check_bool "covered" true (Coverage.is_covered cov 7);
+  check_float "fraction" 1.0 (Coverage.coverage_fraction cov)
+
+let test_coverage_add_idempotent () =
+  let g = path_graph 5 in
+  let cov = Coverage.create g in
+  Coverage.add cov 2;
+  Coverage.add cov 2;
+  check_int "size once" 1 (Coverage.size cov);
+  Alcotest.(check (array int)) "order" [| 2 |] (Coverage.brokers cov)
+
+let test_coverage_order () =
+  let g = path_graph 6 in
+  let cov = Coverage.create g in
+  List.iter (Coverage.add cov) [ 3; 0; 5 ];
+  Alcotest.(check (array int)) "insertion order" [| 3; 0; 5 |] (Coverage.brokers cov)
+
+let coverage_qcheck_gain_consistent =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:100 ~name:"gain v = f(B+v) - f(B)" graph_arbitrary
+       (fun g ->
+         let r = Broker_util.Xrandom.create 5 in
+         let cov = Coverage.create g in
+         let ok = ref true in
+         for _ = 1 to 5 do
+           let v = Broker_util.Xrandom.int r (G.n g) in
+           let predicted = Coverage.gain cov v in
+           let before = Coverage.f cov in
+           Coverage.add cov v;
+           if Coverage.f cov - before <> predicted then ok := false
+         done;
+         !ok))
+
+(* ---------- Greedy MCB ---------- *)
+
+let test_greedy_star () =
+  let g = star_graph 10 in
+  let brokers = Greedy.celf g ~k:3 in
+  (* The center covers everything; greedy stops after it. *)
+  Alcotest.(check (array int)) "center only" [| 0 |] brokers
+
+let test_greedy_respects_k () =
+  let g = random_graph (rng ()) ~n:60 ~m:100 in
+  let brokers = Greedy.celf g ~k:5 in
+  check_bool "at most k" true (Array.length brokers <= 5)
+
+let greedy_qcheck_naive_eq_celf =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"naive greedy = CELF" graph_arbitrary
+       (fun g ->
+         Greedy.naive g ~k:6 = Greedy.celf g ~k:6))
+
+let test_greedy_optimality_small () =
+  (* Brute-force optimum for k=2 on a small fixed graph: greedy's first two
+     picks must achieve >= (1 - 1/e) of it (they achieve it exactly here). *)
+  let g = random_graph (Broker_util.Xrandom.create 42) ~n:14 ~m:18 in
+  let best = ref 0 in
+  for u = 0 to 13 do
+    for v = u + 1 to 13 do
+      let cov = Coverage.create g in
+      Coverage.add cov u;
+      Coverage.add cov v;
+      if Coverage.f cov > !best then best := Coverage.f cov
+    done
+  done;
+  let cov = Coverage.create g in
+  Array.iter (Coverage.add cov) (Greedy.celf g ~k:2);
+  check_bool "within (1 - 1/e) of OPT" true
+    (float_of_int (Coverage.f cov) >= (1.0 -. exp (-1.0)) *. float_of_int !best)
+
+let test_greedy_celf_into_topup () =
+  let g = random_graph (rng ()) ~n:40 ~m:60 in
+  let cov = Coverage.create g in
+  Coverage.add cov 0;
+  Greedy.celf_into cov ~k:4;
+  check_bool "topped up" true (Coverage.size cov <= 4 && Coverage.size cov >= 1);
+  check_bool "0 still first" true ((Coverage.brokers cov).(0) = 0)
+
+(* ---------- MaxSG ---------- *)
+
+let test_maxsg_star () =
+  let g = star_graph 8 in
+  Alcotest.(check (array int)) "center" [| 0 |] (Maxsg.run g ~k:5)
+
+let test_maxsg_prefix_property () =
+  let g = random_graph (rng ()) ~n:80 ~m:150 in
+  let k5 = Maxsg.run g ~k:5 in
+  let k10 = Maxsg.run g ~k:10 in
+  Alcotest.(check (array int)) "prefix" k5 (Array.sub k10 0 (Array.length k5))
+
+let maxsg_qcheck_dominating_guarantee =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:80 ~name:"MaxSG output is mutually dominated"
+       graph_arbitrary (fun g ->
+         let brokers = Maxsg.run g ~k:8 in
+         Mcbg.guarantees_dominating_paths g brokers))
+
+let test_maxsg_saturation_dominates_component () =
+  let t = small_internet ~seed:3 ~scale:0.005 () in
+  let g = t.Broker_topo.Topology.graph in
+  let brokers = Maxsg.run_to_saturation g in
+  let cov = Coverage.create g in
+  Array.iter (Coverage.add cov) brokers;
+  let members = Broker_graph.Components.largest_members g in
+  Array.iter
+    (fun v -> check_bool "dominated" true (Coverage.is_covered cov v))
+    members
+
+let test_maxsg_coverage_curve () =
+  let g = random_graph (rng ()) ~n:50 ~m:80 in
+  let brokers = Maxsg.run g ~k:10 in
+  let curve = Maxsg.coverage_curve g brokers in
+  check_int "one point per broker" (Array.length brokers) (Array.length curve);
+  (* Coverage is nondecreasing along the curve. *)
+  let ok = ref true in
+  for i = 1 to Array.length curve - 1 do
+    if snd curve.(i) < snd curve.(i - 1) then ok := false
+  done;
+  check_bool "monotone" true !ok
+
+(* ---------- MCBG ---------- *)
+
+let test_mcbg_budget_formulas () =
+  check_int "x* k=7 beta=4" 4 (Mcbg.x_star ~k:7 ~beta:4);
+  check_int "x* k=1" 1 (Mcbg.x_star ~k:1 ~beta:4);
+  check_int "theta even" 4 (Mcbg.theta ~beta:4);
+  check_int "theta odd" 6 (Mcbg.theta ~beta:5)
+
+let test_mcbg_respects_k () =
+  let g = random_graph (rng ()) ~n:100 ~m:160 in
+  let r = Mcbg.run g ~k:10 ~beta:4 in
+  check_bool "size <= k" true (Array.length r.Mcbg.brokers <= 10);
+  check_bool "coverage brokers <= x*" true
+    (Array.length r.Mcbg.coverage_brokers <= r.Mcbg.x_star)
+
+let mcbg_qcheck_guarantee =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"MCBG output satisfies dominating paths"
+       graph_arbitrary (fun g ->
+         let r = Mcbg.run g ~k:6 ~beta:4 in
+         Mcbg.guarantees_dominating_paths g r.Mcbg.brokers))
+
+let test_mcbg_connectors_on_long_path () =
+  (* Coverage brokers at the two ends of a long path need connectors. *)
+  let g = path_graph 9 in
+  let r = Mcbg.run g ~k:9 ~beta:8 in
+  check_bool "guarantee" true (Mcbg.guarantees_dominating_paths g r.Mcbg.brokers)
+
+let test_mcbg_invalid () =
+  let g = path_graph 3 in
+  Alcotest.check_raises "k=0" (Invalid_argument "Mcbg.run") (fun () ->
+      ignore (Mcbg.run g ~k:0 ~beta:4))
+
+(* ---------- Baselines ---------- *)
+
+let test_db_order () =
+  let g = star_graph 6 in
+  Alcotest.(check int) "center first" 0 (Baselines.db g ~k:1).(0);
+  check_int "k respected" 3 (Array.length (Baselines.db g ~k:3))
+
+let test_degree_order_monotone () =
+  let g = random_graph (rng ()) ~n:50 ~m:100 in
+  let order = Baselines.degree_order g in
+  let ok = ref true in
+  for i = 1 to Array.length order - 1 do
+    if G.degree g order.(i) > G.degree g order.(i - 1) then ok := false
+  done;
+  check_bool "descending degrees" true !ok
+
+let test_prb_star () =
+  let g = star_graph 9 in
+  Alcotest.(check int) "center first" 0 (Baselines.prb g ~k:1).(0)
+
+let test_set_cover_dominates () =
+  let g = random_graph (rng ()) ~n:60 ~m:90 in
+  let brokers = Baselines.set_cover ~rng:(rng ()) g in
+  let cov = Coverage.create g in
+  Array.iter (Coverage.add cov) brokers;
+  check_int "dominating set" (G.n g) (Coverage.f cov)
+
+let test_ixpb_tier1 () =
+  let t = small_internet ~seed:4 ~scale:0.01 () in
+  let ixpb = Baselines.ixpb t ~min_degree:0 in
+  Array.iter
+    (fun v -> check_bool "only ixps" true (Broker_topo.Topology.is_ixp t v))
+    ixpb;
+  check_int "all ixps"
+    (Broker_topo.Topology.count_kind t Broker_topo.Node_meta.Ixp)
+    (Array.length ixpb);
+  let t1 = Baselines.tier1_only t in
+  Array.iter
+    (fun v ->
+      check_bool "tier1 kind" true
+        (Broker_topo.Node_meta.kind_equal
+           t.Broker_topo.Topology.kinds.(v)
+           Broker_topo.Node_meta.Tier1))
+    t1
+
+(* ---------- Connectivity ---------- *)
+
+let test_connectivity_star_center_broker () =
+  let g = star_graph 5 in
+  let c = Conn.exact ~l_max:4 g ~is_broker:(Conn.of_brokers ~n:5 [| 0 |]) in
+  (* All 20 ordered pairs reachable: leaves at distance 2 via center. *)
+  check_float "saturated" 1.0 c.Conn.saturated;
+  check_float "l=2 is full" 1.0 (Conn.value_at c 2);
+  (* l=1: only pairs adjacent to the center: 8 of 20. *)
+  check_float "l=1" 0.4 (Conn.value_at c 1)
+
+let test_connectivity_no_brokers () =
+  let g = path_graph 4 in
+  let c = Conn.exact g ~is_broker:(fun _ -> false) in
+  check_float "nothing" 0.0 c.Conn.saturated
+
+let test_connectivity_unrestricted_path () =
+  let g = path_graph 4 in
+  let c = Conn.exact ~l_max:3 g ~is_broker:Conn.unrestricted in
+  check_float "all pairs" 1.0 c.Conn.saturated;
+  (* l=1: 6 adjacent ordered pairs of 12. *)
+  check_float "l=1" 0.5 (Conn.value_at c 1)
+
+let test_connectivity_sampled_all_sources_equals_exact () =
+  let g = random_graph (rng ()) ~n:30 ~m:50 in
+  let is_broker = Conn.of_brokers ~n:30 (Maxsg.run g ~k:4) in
+  let exact = Conn.exact ~l_max:6 g ~is_broker in
+  let sampled = Conn.sampled ~l_max:6 ~rng:(rng ()) ~sources:30 g ~is_broker in
+  check_float "saturated equal" exact.Conn.saturated sampled.Conn.saturated;
+  for l = 1 to 6 do
+    check_float "curve equal" (Conn.value_at exact l) (Conn.value_at sampled l)
+  done
+
+let test_connectivity_monotone_in_l () =
+  let g = random_graph (rng ()) ~n:40 ~m:60 in
+  let c = Conn.exact ~l_max:8 g ~is_broker:(Conn.of_brokers ~n:40 (Maxsg.run g ~k:5)) in
+  for l = 2 to 8 do
+    check_bool "nondecreasing" true (Conn.value_at c l >= Conn.value_at c (l - 1))
+  done;
+  check_bool "below saturated" true (Conn.value_at c 8 <= c.Conn.saturated +. 1e-12)
+
+let conn_qcheck_broker_monotone =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:50 ~name:"more brokers never hurt connectivity"
+       graph_arbitrary (fun g ->
+         let n = G.n g in
+         let order = Maxsg.run g ~k:8 in
+         let take k = Conn.of_brokers ~n (Array.sub order 0 (min k (Array.length order))) in
+         let c_small = Conn.exact ~l_max:4 g ~is_broker:(take 3) in
+         let c_big = Conn.exact ~l_max:4 g ~is_broker:(take 8) in
+         c_big.Conn.saturated >= c_small.Conn.saturated -. 1e-12))
+
+(* ---------- Alpha_beta & Path_constraint ---------- *)
+
+let test_alpha_beta_clique () =
+  let g = clique_graph 12 in
+  let est = Broker_core.Alpha_beta.estimate ~rng:(rng ()) ~sources:12 g ~alpha:0.99 in
+  check_int "beta 1 on clique" 1 est.Broker_core.Alpha_beta.beta;
+  check_float "alpha 1" 1.0 est.Broker_core.Alpha_beta.alpha
+
+let test_alpha_beta_path () =
+  let g = path_graph 16 in
+  let est = Broker_core.Alpha_beta.estimate ~rng:(rng ()) ~sources:16 g ~alpha:0.5 in
+  check_bool "beta mid-size" true
+    (est.Broker_core.Alpha_beta.beta >= 4 && est.Broker_core.Alpha_beta.beta <= 12)
+
+let test_alpha_beta_cdf_monotone () =
+  let g = random_graph (rng ()) ~n:40 ~m:60 in
+  let est = Broker_core.Alpha_beta.estimate ~rng:(rng ()) ~sources:20 g ~alpha:0.9 in
+  let cdf = est.Broker_core.Alpha_beta.cdf in
+  for l = 1 to Array.length cdf - 1 do
+    check_bool "monotone cdf" true (cdf.(l) >= cdf.(l - 1) -. 1e-12)
+  done
+
+let test_path_constraint_self () =
+  let g = random_graph (rng ()) ~n:30 ~m:60 in
+  let c = Conn.exact g ~is_broker:Conn.unrestricted in
+  let v = Broker_core.Path_constraint.feasible ~epsilon:1e-9 c ~target:c in
+  check_bool "self feasible" true v.Broker_core.Path_constraint.feasible;
+  check_float "zero deviation" 0.0 v.Broker_core.Path_constraint.max_deviation
+
+let test_path_constraint_detects_gap () =
+  let g = path_graph 10 in
+  let free = Conn.exact g ~is_broker:Conn.unrestricted in
+  let none = Conn.exact g ~is_broker:(fun _ -> false) in
+  let v = Broker_core.Path_constraint.feasible ~epsilon:0.1 none ~target:free in
+  check_bool "infeasible" false v.Broker_core.Path_constraint.feasible;
+  check_bool "large deviation" true (v.Broker_core.Path_constraint.max_deviation > 0.5)
+
+(* ---------- Dominating ---------- *)
+
+let test_is_dominated_path () =
+  let is_broker v = v = 1 in
+  check_bool "dominated" true (Dominating.is_dominated_path ~is_broker [ 0; 1; 2 ]);
+  check_bool "not dominated" false (Dominating.is_dominated_path ~is_broker [ 0; 2; 3 ]);
+  check_bool "trivial" true (Dominating.is_dominated_path ~is_broker [ 0 ]);
+  check_bool "empty" true (Dominating.is_dominated_path ~is_broker [])
+
+let test_find_dominated_path () =
+  let g = path_graph 5 in
+  (* Brokers 1 and 3 dominate the whole path. *)
+  let is_broker v = v = 1 || v = 3 in
+  let path = Dominating.find_dominated_path g ~is_broker 0 4 in
+  Alcotest.(check (list int)) "path found" [ 0; 1; 2; 3; 4 ] path;
+  check_bool "dominated" true (Dominating.is_dominated_path ~is_broker path);
+  (* Broker 1 only: edge (2,3) and (3,4) undominated. *)
+  let path2 = Dominating.find_dominated_path g ~is_broker:(fun v -> v = 1) 0 4 in
+  Alcotest.(check (list int)) "no path" [] path2
+
+let test_broker_only_star () =
+  let g = star_graph 6 in
+  let r = Dominating.broker_only_fraction ~rng:(rng ()) ~sources:6 g ~brokers:[| 0 |] in
+  check_float "everything through the hub" 1.0 r.Dominating.broker_only_pairs;
+  check_float "ratio" 1.0 r.Dominating.ratio
+
+let test_broker_only_partial () =
+  (* Path 0-1-2-3-4 with broker 1: pairs among {0,1,2} are broker-only;
+     3,4 unreachable. *)
+  let g = path_graph 5 in
+  let r = Dominating.broker_only_fraction ~rng:(rng ()) ~sources:5 g ~brokers:[| 1 |] in
+  (* Ordered pairs total 20; {0,1,2} pairwise = 6. *)
+  check_float "broker-only pairs" 0.3 r.Dominating.broker_only_pairs;
+  check_float "saturated equals" 0.3 r.Dominating.saturated_pairs;
+  check_float "ratio 1" 1.0 r.Dominating.ratio
+
+(* ---------- Composition ---------- *)
+
+let test_composition_shares () =
+  let t = small_internet ~seed:8 ~scale:0.01 () in
+  let brokers = Maxsg.run t.Broker_topo.Topology.graph ~k:30 in
+  let shares = Broker_core.Composition.shares t ~brokers in
+  let total =
+    List.fold_left (fun acc (s : Broker_core.Composition.share) -> acc + s.Broker_core.Composition.count) 0 shares
+  in
+  check_int "shares partition brokers" (Array.length brokers) total;
+  let frac =
+    List.fold_left (fun acc (s : Broker_core.Composition.share) -> acc +. s.Broker_core.Composition.fraction) 0.0 shares
+  in
+  check_float_eps 1e-9 "fractions sum to 1" 1.0 frac
+
+let test_composition_ranking () =
+  let t = small_internet ~seed:8 ~scale:0.01 () in
+  let brokers = Maxsg.run t.Broker_topo.Topology.graph ~k:10 in
+  let ranked = Broker_core.Composition.ranking t ~brokers in
+  check_int "all ranked" 10 (Array.length ranked);
+  Array.iteri
+    (fun i r ->
+      check_int "rank order" (i + 1) r.Broker_core.Composition.rank;
+      check_int "node matches" brokers.(i) r.Broker_core.Composition.node)
+    ranked
+
+let suite =
+  [
+    ( "core.coverage",
+      [
+        Alcotest.test_case "star" `Quick test_coverage_star;
+        Alcotest.test_case "idempotent add" `Quick test_coverage_add_idempotent;
+        Alcotest.test_case "insertion order" `Quick test_coverage_order;
+        coverage_qcheck_gain_consistent;
+      ] );
+    ( "core.greedy_mcb",
+      [
+        Alcotest.test_case "star" `Quick test_greedy_star;
+        Alcotest.test_case "respects k" `Quick test_greedy_respects_k;
+        Alcotest.test_case "near-optimal small" `Quick test_greedy_optimality_small;
+        Alcotest.test_case "celf_into topup" `Quick test_greedy_celf_into_topup;
+        greedy_qcheck_naive_eq_celf;
+      ] );
+    ( "core.maxsg",
+      [
+        Alcotest.test_case "star" `Quick test_maxsg_star;
+        Alcotest.test_case "prefix property" `Quick test_maxsg_prefix_property;
+        Alcotest.test_case "saturation dominates" `Quick test_maxsg_saturation_dominates_component;
+        Alcotest.test_case "coverage curve" `Quick test_maxsg_coverage_curve;
+        maxsg_qcheck_dominating_guarantee;
+      ] );
+    ( "core.mcbg",
+      [
+        Alcotest.test_case "budget formulas" `Quick test_mcbg_budget_formulas;
+        Alcotest.test_case "respects k" `Quick test_mcbg_respects_k;
+        Alcotest.test_case "long path connectors" `Quick test_mcbg_connectors_on_long_path;
+        Alcotest.test_case "invalid input" `Quick test_mcbg_invalid;
+        mcbg_qcheck_guarantee;
+      ] );
+    ( "core.baselines",
+      [
+        Alcotest.test_case "db" `Quick test_db_order;
+        Alcotest.test_case "degree order" `Quick test_degree_order_monotone;
+        Alcotest.test_case "prb" `Quick test_prb_star;
+        Alcotest.test_case "set cover dominates" `Quick test_set_cover_dominates;
+        Alcotest.test_case "ixpb & tier1" `Quick test_ixpb_tier1;
+      ] );
+    ( "core.connectivity",
+      [
+        Alcotest.test_case "star broker" `Quick test_connectivity_star_center_broker;
+        Alcotest.test_case "no brokers" `Quick test_connectivity_no_brokers;
+        Alcotest.test_case "unrestricted" `Quick test_connectivity_unrestricted_path;
+        Alcotest.test_case "sampled = exact" `Quick test_connectivity_sampled_all_sources_equals_exact;
+        Alcotest.test_case "monotone in l" `Quick test_connectivity_monotone_in_l;
+        conn_qcheck_broker_monotone;
+      ] );
+    ( "core.alpha_beta",
+      [
+        Alcotest.test_case "clique" `Quick test_alpha_beta_clique;
+        Alcotest.test_case "path" `Quick test_alpha_beta_path;
+        Alcotest.test_case "cdf monotone" `Quick test_alpha_beta_cdf_monotone;
+      ] );
+    ( "core.path_constraint",
+      [
+        Alcotest.test_case "self feasible" `Quick test_path_constraint_self;
+        Alcotest.test_case "detects gap" `Quick test_path_constraint_detects_gap;
+      ] );
+    ( "core.dominating",
+      [
+        Alcotest.test_case "predicate" `Quick test_is_dominated_path;
+        Alcotest.test_case "find path" `Quick test_find_dominated_path;
+        Alcotest.test_case "broker-only star" `Quick test_broker_only_star;
+        Alcotest.test_case "broker-only partial" `Quick test_broker_only_partial;
+      ] );
+    ( "core.composition",
+      [
+        Alcotest.test_case "shares" `Quick test_composition_shares;
+        Alcotest.test_case "ranking" `Quick test_composition_ranking;
+      ] );
+  ]

@@ -1,0 +1,262 @@
+(* Tests for Broker_econ: Market, Bargain, Stackelberg, Shapley,
+   Coalition. *)
+
+open Helpers
+module Market = Broker_econ.Market
+module Bargain = Broker_econ.Bargain
+module Stackelberg = Broker_econ.Stackelberg
+module Shapley = Broker_econ.Shapley
+module Coalition = Broker_econ.Coalition
+
+(* ---------- Market ---------- *)
+
+let test_market_v_shape () =
+  let c = Market.customer () in
+  check_float "V(0) = 0" 0.0 (Market.v c 0.0);
+  check_float "V(1) = v_scale" c.Market.v_scale (Market.v c 1.0);
+  (* Strictly increasing, concave (second difference negative). *)
+  let h = 0.1 in
+  for i = 0 to 8 do
+    let a = float_of_int i *. h in
+    check_bool "increasing" true (Market.v c (a +. h) > Market.v c a);
+    check_bool "concave" true
+      (Market.v c (a +. (2.0 *. h)) -. (2.0 *. Market.v c (a +. h)) +. Market.v c a
+      < 1e-12)
+  done
+
+let test_market_p_shape () =
+  let c = Market.customer ~p_peak:0.6 () in
+  check_float "P(1) = 0" 0.0 (Market.p c 1.0);
+  (* Peak at p_peak. *)
+  check_bool "peak" true
+    (Market.p c 0.6 > Market.p c 0.3 && Market.p c 0.6 > Market.p c 0.9)
+
+let test_market_best_response_bounds () =
+  let c = Market.customer ~a0:0.1 () in
+  List.iter
+    (fun price ->
+      let a = Market.best_response c ~price in
+      check_bool "within [a0, 1]" true (a >= c.Market.a0 -. 1e-9 && a <= 1.0 +. 1e-9))
+    [ 0.0; 1.0; 5.0; 50.0 ]
+
+let test_market_best_response_zero_price_full () =
+  (* With no price and increasing V, P pulling toward its peak then flat
+     cost, adoption should be high. *)
+  let c = Market.customer ~p_scale:0.0 () in
+  let a = Market.best_response c ~price:0.0 in
+  check_float_eps 1e-3 "full adoption at zero price" 1.0 a
+
+let test_market_best_response_is_argmax () =
+  let c = Market.customer () in
+  let price = 3.0 in
+  let a_star = Market.best_response c ~price in
+  let u_star = Market.utility c ~price a_star in
+  (* Grid sanity: no grid point beats the reported optimum. *)
+  for i = 0 to 100 do
+    let a = c.Market.a0 +. (float_of_int i /. 100.0 *. (1.0 -. c.Market.a0)) in
+    check_bool "argmax" true (Market.utility c ~price a <= u_star +. 1e-6)
+  done
+
+let test_market_invalid () =
+  Alcotest.check_raises "bad peak"
+    (Invalid_argument "Market.customer: p_peak in [0,1]") (fun () ->
+      ignore (Market.customer ~p_peak:1.5 ()));
+  Alcotest.check_raises "bad cost" (Invalid_argument "Market.cost: negative traffic")
+    (fun () -> ignore (Market.cost Market.default_cost (-1.0)))
+
+let test_market_population () =
+  let pop = Market.random_population ~rng:(rng ()) ~n:50 in
+  check_int "size" 50 (Array.length pop);
+  Array.iter
+    (fun c -> check_bool "valid a0" true (c.Market.a0 >= 0.0 && c.Market.a0 <= 1.0))
+    pop
+
+(* ---------- Bargain ---------- *)
+
+let test_bargain_feasibility () =
+  (* Feasible iff p_B > h * c. *)
+  check_bool "feasible" true (Bargain.feasible ~broker_price:1.0 ~hops:2 ~cost:0.2);
+  check_bool "infeasible" false (Bargain.feasible ~broker_price:0.3 ~hops:2 ~cost:0.2);
+  check_bool "solve none" true (Bargain.solve ~broker_price:0.3 ~hops:2 0.2 = None)
+
+let test_bargain_closed_form () =
+  match Bargain.solve ~cross_check:true ~broker_price:2.0 ~hops:2 0.2 with
+  | None -> Alcotest.fail "should be feasible"
+  | Some b ->
+      (* R = 2*2 - 2*0.2 = 3.6; roots c=0.2 and R/h=1.8; midpoint 1.0. *)
+      check_float_eps 1e-9 "price" 1.0 b.Bargain.price;
+      check_float_eps 1e-9 "employee surplus" 0.8 b.Bargain.u_employee;
+      check_float_eps 1e-9 "broker surplus" 1.6 b.Bargain.u_broker;
+      check_bool "both positive" true (b.Bargain.u_employee > 0.0 && b.Bargain.u_broker > 0.0)
+
+let test_bargain_split_equal_surplus_ratio () =
+  (* At the Nash solution of this linear problem the employee gets half the
+     per-employee pie: u_broker = h * u_employee. *)
+  match Bargain.solve ~broker_price:5.0 ~hops:3 0.5 with
+  | None -> Alcotest.fail "feasible"
+  | Some b -> check_float_eps 1e-9 "h-ratio" (3.0 *. b.Bargain.u_employee) b.Bargain.u_broker
+
+let test_bargain_invalid () =
+  Alcotest.check_raises "hops" (Invalid_argument "Bargain: hops must be >= 1")
+    (fun () -> ignore (Bargain.feasible ~broker_price:1.0 ~hops:0 ~cost:0.1))
+
+(* ---------- Stackelberg ---------- *)
+
+let test_stackelberg_equilibrium_exists () =
+  let pop = Market.random_population ~rng:(rng ()) ~n:40 in
+  let eq = Stackelberg.solve pop ~cost:Market.default_cost in
+  check_bool "price nonnegative" true (eq.Stackelberg.price >= 0.0);
+  check_bool "alpha bounded" true
+    (eq.Stackelberg.alpha >= 0.0 && eq.Stackelberg.alpha <= float_of_int 40);
+  check_int "adoption per customer" 40 (Array.length eq.Stackelberg.adoptions);
+  (* The equilibrium price should not be beaten by nearby prices. *)
+  let u p = Stackelberg.broker_utility pop ~cost:Market.default_cost ~price:p in
+  let u_star = u eq.Stackelberg.price in
+  check_bool "local optimality +" true (u (eq.Stackelberg.price +. 0.05) <= u_star +. 1e-3);
+  check_bool "local optimality -" true
+    (u (Float.max 0.0 (eq.Stackelberg.price -. 0.05)) <= u_star +. 1e-3)
+
+let test_stackelberg_adoption_decreasing_in_price () =
+  let pop = Market.random_population ~rng:(rng ()) ~n:30 in
+  let a1 = Stackelberg.aggregate_response pop ~price:0.5 in
+  let a2 = Stackelberg.aggregate_response pop ~price:2.0 in
+  let a3 = Stackelberg.aggregate_response pop ~price:8.0 in
+  check_bool "monotone" true (a1 >= a2 -. 1e-9 && a2 >= a3 -. 1e-9)
+
+let test_stackelberg_full_adoption_price () =
+  (* Homogeneous cheap-to-please population adopts fully at low price. *)
+  let pop = Array.make 10 (Market.customer ~v_scale:20.0 ~p_scale:0.1 ()) in
+  match Stackelberg.full_adoption_price pop ~epsilon:0.02 with
+  | None -> Alcotest.fail "full adoption should be achievable at price 0"
+  | Some p -> check_bool "positive threshold" true (p >= 0.0)
+
+let test_stackelberg_no_customers () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stackelberg.solve: no customers")
+    (fun () -> ignore (Stackelberg.solve [||] ~cost:Market.default_cost))
+
+(* ---------- Shapley ---------- *)
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x land (x - 1)) (acc + 1) in
+  go x 0
+
+let test_shapley_additive_game () =
+  (* v(S) = sum of member weights: phi_j = weight_j. *)
+  let w = [| 1.0; 2.0; 4.0 |] in
+  let v mask =
+    let acc = ref 0.0 in
+    for j = 0 to 2 do
+      if mask land (1 lsl j) <> 0 then acc := !acc +. w.(j)
+    done;
+    !acc
+  in
+  let phi = Shapley.exact ~n:3 ~v in
+  Alcotest.(check (array (float 1e-9))) "additive" w phi
+
+let test_shapley_symmetric_game () =
+  (* v(S) = |S|^2: all players symmetric, equal shares of v(N) = 16. *)
+  let v mask = float_of_int (popcount mask * popcount mask) in
+  let phi = Shapley.exact ~n:4 ~v in
+  Array.iter (fun p -> check_float "equal split" 4.0 p) phi
+
+let test_shapley_dummy_player () =
+  (* Player 2 never contributes. *)
+  let v mask = if mask land 0b011 <> 0 then 10.0 else 0.0 in
+  let phi = Shapley.exact ~n:3 ~v in
+  check_float "dummy gets zero" 0.0 phi.(2)
+
+let test_shapley_efficiency () =
+  let v mask = float_of_int (popcount mask) ** 1.5 in
+  let phi = Shapley.exact ~n:6 ~v in
+  check_float_eps 1e-9 "efficiency" 0.0 (Shapley.efficiency_gap ~v ~n:6 phi)
+
+let test_shapley_monte_carlo_close () =
+  let v mask = float_of_int (popcount mask * popcount mask) in
+  let exact = Shapley.exact ~n:5 ~v in
+  let mc = Shapley.monte_carlo ~rng:(rng ()) ~n:5 ~samples:4000 ~v in
+  Array.iteri
+    (fun j p -> check_float_eps 0.3 "mc close" p mc.(j))
+    exact
+
+let test_shapley_bounds () =
+  Alcotest.check_raises "n too big" (Invalid_argument "Shapley.exact: n in [1, 20]")
+    (fun () -> ignore (Shapley.exact ~n:21 ~v:(fun _ -> 0.0)))
+
+(* ---------- Coalition ---------- *)
+
+let test_coalition_supermodular_convex_game () =
+  (* v(S) = |S|^2 is supermodular and superadditive. *)
+  let v mask = float_of_int (popcount mask * popcount mask) in
+  let r = rng () in
+  check_bool "supermodular" true
+    (Coalition.supermodular ~rng:r ~n:6 ~v ~trials:1000).Coalition.holds;
+  check_bool "superadditive" true
+    (Coalition.superadditive ~rng:r ~n:6 ~v ~trials:1000).Coalition.holds;
+  let phi = Shapley.exact ~n:6 ~v in
+  check_bool "individually rational" true (Coalition.individually_rational ~v ~n:6 phi);
+  check_bool "group rational" true
+    (Coalition.group_rational ~rng:r ~n:6 ~v phi ~trials:1000).Coalition.holds
+
+let test_coalition_submodular_violations () =
+  (* v(S) = sqrt(|S|) is submodular: supermodularity must be flagged. *)
+  let v mask = sqrt (float_of_int (popcount mask)) in
+  let r = rng () in
+  let check_result = Coalition.supermodular ~rng:r ~n:5 ~v ~trials:1000 in
+  check_bool "violations found" true (check_result.Coalition.violations > 0)
+
+let test_coalition_marginal_curve () =
+  let values = [| 1.0; 3.0; 6.0; 8.0; 9.0 |] in
+  Alcotest.(check (array (float 1e-9)))
+    "first differences" [| 1.0; 2.0; 3.0; 2.0; 1.0 |]
+    (Coalition.marginal_curve values);
+  check_bool "break at index 3" true
+    (Coalition.supermodularity_break values = Some 3)
+
+let test_coalition_no_break () =
+  check_bool "monotone marginals" true
+    (Coalition.supermodularity_break [| 1.0; 2.5; 5.0 |] = None);
+  check_bool "short input" true (Coalition.supermodularity_break [| 4.0 |] = None)
+
+let suite =
+  [
+    ( "econ.market",
+      [
+        Alcotest.test_case "V shape" `Quick test_market_v_shape;
+        Alcotest.test_case "P shape" `Quick test_market_p_shape;
+        Alcotest.test_case "best response bounds" `Quick test_market_best_response_bounds;
+        Alcotest.test_case "zero price adoption" `Quick test_market_best_response_zero_price_full;
+        Alcotest.test_case "best response argmax" `Quick test_market_best_response_is_argmax;
+        Alcotest.test_case "invalid params" `Quick test_market_invalid;
+        Alcotest.test_case "population" `Quick test_market_population;
+      ] );
+    ( "econ.bargain",
+      [
+        Alcotest.test_case "feasibility" `Quick test_bargain_feasibility;
+        Alcotest.test_case "closed form" `Quick test_bargain_closed_form;
+        Alcotest.test_case "surplus ratio" `Quick test_bargain_split_equal_surplus_ratio;
+        Alcotest.test_case "invalid" `Quick test_bargain_invalid;
+      ] );
+    ( "econ.stackelberg",
+      [
+        Alcotest.test_case "equilibrium exists" `Quick test_stackelberg_equilibrium_exists;
+        Alcotest.test_case "adoption monotone" `Quick test_stackelberg_adoption_decreasing_in_price;
+        Alcotest.test_case "full adoption price" `Quick test_stackelberg_full_adoption_price;
+        Alcotest.test_case "no customers" `Quick test_stackelberg_no_customers;
+      ] );
+    ( "econ.shapley",
+      [
+        Alcotest.test_case "additive game" `Quick test_shapley_additive_game;
+        Alcotest.test_case "symmetric game" `Quick test_shapley_symmetric_game;
+        Alcotest.test_case "dummy player" `Quick test_shapley_dummy_player;
+        Alcotest.test_case "efficiency" `Quick test_shapley_efficiency;
+        Alcotest.test_case "monte carlo" `Quick test_shapley_monte_carlo_close;
+        Alcotest.test_case "bounds" `Quick test_shapley_bounds;
+      ] );
+    ( "econ.coalition",
+      [
+        Alcotest.test_case "convex game stable" `Quick test_coalition_supermodular_convex_game;
+        Alcotest.test_case "submodular flagged" `Quick test_coalition_submodular_violations;
+        Alcotest.test_case "marginal curve" `Quick test_coalition_marginal_curve;
+        Alcotest.test_case "no break" `Quick test_coalition_no_break;
+      ] );
+  ]

@@ -1,0 +1,113 @@
+(* Integration smoke tests: every table/figure reproduction runs end to end
+   on a tiny topology, and the shared context's invariants hold. Output is
+   diverted so `dune runtest` stays readable. *)
+
+open Helpers
+module E = Broker_experiments
+
+let tiny_ctx () = E.Ctx.create ~scale:0.008 ~sources:24 ~seed:99 ()
+
+let with_quiet_stdout f =
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  flush stdout;
+  Unix.dup2 devnull Unix.stdout;
+  Unix.close devnull;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved)
+    f
+
+let test_ctx_caching () =
+  let ctx = tiny_ctx () in
+  let t1 = E.Ctx.topo ctx and t2 = E.Ctx.topo ctx in
+  check_bool "topology cached" true (t1 == t2);
+  let o1 = E.Ctx.maxsg_order ctx and o2 = E.Ctx.maxsg_order ctx in
+  check_bool "order cached" true (o1 == o2)
+
+let test_ctx_scale_count () =
+  let ctx = E.Ctx.create ~scale:0.1 () in
+  check_int "scaled" 100 (E.Ctx.scale_count ctx 1000);
+  check_int "min 1" 1 (E.Ctx.scale_count ctx 3)
+
+let test_ctx_saturated_monotone () =
+  let ctx = tiny_ctx () in
+  let order = E.Ctx.maxsg_order ctx in
+  let k2 = min 4 (Array.length order) and k1 = min 2 (Array.length order) in
+  let s1 = E.Ctx.saturated ctx ~brokers:(Array.sub order 0 k1) in
+  let s2 = E.Ctx.saturated ctx ~brokers:(Array.sub order 0 k2) in
+  check_bool "monotone in brokers" true (s2 >= s1 -. 1e-12)
+
+let test_ctx_free_dominates () =
+  let ctx = tiny_ctx () in
+  let order = E.Ctx.maxsg_order ctx in
+  let restricted = E.Ctx.saturated ctx ~brokers:order in
+  let free = (E.Ctx.free_curve ctx).Broker_core.Connectivity.saturated in
+  check_bool "free >= restricted" true (free >= restricted -. 1e-12)
+
+let test_table1_rows () =
+  let ctx = tiny_ctx () in
+  let rows = with_quiet_stdout (fun () -> E.Table1.compute ctx) in
+  check_int "5 rows" 5 (List.length rows);
+  List.iter
+    (fun (r : E.Table1.row) ->
+      check_bool "coverage in [0,1]" true
+        (r.E.Table1.coverage >= 0.0 && r.E.Table1.coverage <= 1.0))
+    rows
+
+let test_table3_rows () =
+  let ctx = tiny_ctx () in
+  let rows = with_quiet_stdout (fun () -> E.Table3.compute ctx) in
+  check_int "5 topologies" 5 (List.length rows)
+
+let test_fig2a_result () =
+  let ctx = tiny_ctx () in
+  let r = with_quiet_stdout (fun () -> E.Fig2a.compute ~runs:20 ctx) in
+  check_int "runs" 20 (Array.length r.E.Fig2a.sizes);
+  check_bool "sets are large" true (r.E.Fig2a.mean_fraction > 0.2)
+
+let test_fig3_correlation_decays () =
+  let ctx = tiny_ctx () in
+  let small = with_quiet_stdout (fun () -> E.Fig3.compute ~candidates:24 ctx ~base_k:2) in
+  check_bool "some candidates" true (Array.length small.E.Fig3.points > 4);
+  check_bool "correlation defined" true
+    (Float.is_finite small.E.Fig3.correlation)
+
+let test_all_experiments_run () =
+  let ctx = tiny_ctx () in
+  with_quiet_stdout (fun () -> E.All.run_all ctx);
+  check_bool "completed" true true
+
+let test_run_one_unknown () =
+  let ctx = tiny_ctx () in
+  match E.All.run_one ctx "nonsense" with
+  | Ok () -> Alcotest.fail "should not resolve"
+  | Error msg -> check_bool "helpful error" true (contains ~needle:"table1" msg)
+
+let test_find () =
+  check_bool "case insensitive" true (E.All.find "TABLE1" <> None);
+  check_bool "unknown" true (E.All.find "nope" = None)
+
+let suite =
+  [
+    ( "experiments.ctx",
+      [
+        Alcotest.test_case "caching" `Quick test_ctx_caching;
+        Alcotest.test_case "scale_count" `Quick test_ctx_scale_count;
+        Alcotest.test_case "saturated monotone" `Quick test_ctx_saturated_monotone;
+        Alcotest.test_case "free dominates" `Quick test_ctx_free_dominates;
+      ] );
+    ( "experiments.results",
+      [
+        Alcotest.test_case "table1 rows" `Quick test_table1_rows;
+        Alcotest.test_case "table3 rows" `Quick test_table3_rows;
+        Alcotest.test_case "fig2a" `Quick test_fig2a_result;
+        Alcotest.test_case "fig3" `Quick test_fig3_correlation_decays;
+        Alcotest.test_case "lookup unknown" `Quick test_run_one_unknown;
+        Alcotest.test_case "find" `Quick test_find;
+      ] );
+    ( "experiments.integration",
+      [ Alcotest.test_case "all experiments run" `Slow test_all_experiments_run ] );
+  ]

@@ -1,0 +1,297 @@
+(* Tests for the flow-level simulator (Broker_sim) and the latency model
+   (Broker_routing.Latency). *)
+
+open Helpers
+module G = Broker_graph.Graph
+module Eq = Broker_sim.Event_queue
+module Workload = Broker_sim.Workload
+module Sim = Broker_sim.Simulator
+module Latency = Broker_routing.Latency
+
+(* ---------- Event_queue ---------- *)
+
+let test_eq_time_order () =
+  let q = Eq.create () in
+  Eq.add q ~time:3.0 "c";
+  Eq.add q ~time:1.0 "a";
+  Eq.add q ~time:2.0 "b";
+  let order = List.init 3 (fun _ -> snd (Option.get (Eq.pop q))) in
+  Alcotest.(check (list string)) "sorted" [ "a"; "b"; "c" ] order;
+  check_bool "drained" true (Eq.pop q = None)
+
+let test_eq_stable_ties () =
+  let q = Eq.create () in
+  for i = 0 to 9 do
+    Eq.add q ~time:5.0 i
+  done;
+  let order = List.init 10 (fun _ -> snd (Option.get (Eq.pop q))) in
+  Alcotest.(check (list int)) "insertion order on ties" (List.init 10 Fun.id) order
+
+let test_eq_interleaved () =
+  let q = Eq.create () in
+  Eq.add q ~time:2.0 2;
+  check_bool "peek" true (Eq.peek_time q = Some 2.0);
+  Eq.add q ~time:1.0 1;
+  check_bool "peek updates" true (Eq.peek_time q = Some 1.0);
+  check_int "size" 2 (Eq.size q);
+  ignore (Eq.pop q);
+  Eq.add q ~time:0.5 0;
+  check_bool "reorder" true (snd (Option.get (Eq.pop q)) = 0)
+
+let eq_qcheck_sorted =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"event queue pops sorted"
+       QCheck.(small_list (float_range 0.0 1000.0))
+       (fun times ->
+         let q = Eq.create () in
+         List.iteri (fun i t -> Eq.add q ~time:t i) times;
+         let popped = List.init (List.length times) (fun _ -> fst (Option.get (Eq.pop q))) in
+         popped = List.sort compare times))
+
+(* ---------- Workload ---------- *)
+
+let workload_fixture () =
+  let masses = Array.make 20 1.0 in
+  let model = { Broker_core.Traffic.masses } in
+  Workload.generate ~rng:(rng ()) model ~n_sessions:200 Workload.default_params
+
+let test_workload_sorted_and_valid () =
+  let sessions = workload_fixture () in
+  check_int "count" 200 (Array.length sessions);
+  let prev = ref neg_infinity in
+  Array.iter
+    (fun (s : Workload.session) ->
+      check_bool "sorted arrivals" true (s.Workload.arrival >= !prev);
+      prev := s.Workload.arrival;
+      check_bool "distinct endpoints" true (s.Workload.src <> s.Workload.dst);
+      check_bool "positive duration" true (s.Workload.duration > 0.0);
+      check_bool "endpoints in range" true
+        (s.Workload.src >= 0 && s.Workload.src < 20 && s.Workload.dst >= 0
+       && s.Workload.dst < 20))
+    sessions
+
+let test_workload_rate () =
+  let sessions = workload_fixture () in
+  let last = sessions.(199).Workload.arrival in
+  (* 200 arrivals at rate 10/unit: expect ~20 time units. *)
+  check_bool "arrival clock plausible" true (last > 10.0 && last < 40.0)
+
+let test_workload_invalid () =
+  let model = { Broker_core.Traffic.masses = [| 1.0; 1.0 |] } in
+  Alcotest.check_raises "negative" (Invalid_argument "Workload.generate: negative count")
+    (fun () ->
+      ignore (Workload.generate ~rng:(rng ()) model ~n_sessions:(-1) Workload.default_params))
+
+(* ---------- Simulator ---------- *)
+
+(* Star topology fixture wrapped as a Topology.t: center 0 is the broker. *)
+let star_topo n =
+  let graph = star_graph n in
+  {
+    Broker_topo.Topology.graph;
+    kinds = Array.make n Broker_topo.Node_meta.Transit;
+    tiers = Array.make n 2;
+    names = Array.init n (fun i -> Printf.sprintf "AS%d" i);
+    relations = Broker_topo.Node_meta.Relations.create ();
+  }
+
+let session ~id ~src ~dst ~arrival ~duration =
+  { Workload.id; src; dst; arrival; duration; demand = 1.0 }
+
+let test_sim_capacity_blocks () =
+  let topo = star_topo 6 in
+  (* Two overlapping leaf-to-leaf sessions through the center broker. *)
+  let sessions =
+    [|
+      session ~id:0 ~src:1 ~dst:2 ~arrival:0.0 ~duration:10.0;
+      session ~id:1 ~src:3 ~dst:4 ~arrival:1.0 ~duration:10.0;
+    |]
+  in
+  let stats1 =
+    Sim.run topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 1.0)
+  in
+  check_int "one admitted" 1 stats1.Sim.admitted;
+  check_int "one blocked on capacity" 1 stats1.Sim.rejected_capacity;
+  let stats2 =
+    Sim.run topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 2.0)
+  in
+  check_int "both admitted with capacity 2" 2 stats2.Sim.admitted;
+  check_int "peak in flight" 2 stats2.Sim.peak_in_flight
+
+let test_sim_departure_frees_capacity () =
+  let topo = star_topo 6 in
+  (* Non-overlapping sessions reuse the same capacity unit. *)
+  let sessions =
+    [|
+      session ~id:0 ~src:1 ~dst:2 ~arrival:0.0 ~duration:1.0;
+      session ~id:1 ~src:3 ~dst:4 ~arrival:2.0 ~duration:1.0;
+    |]
+  in
+  let stats = Sim.run topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 1.0) in
+  check_int "both admitted" 2 stats.Sim.admitted;
+  check_int "peak one at a time" 1 stats.Sim.peak_in_flight
+
+let test_sim_no_path () =
+  let graph = G.of_edges ~n:4 [| (0, 1); (2, 3) |] in
+  let topo = { (star_topo 4) with Broker_topo.Topology.graph } in
+  let sessions = [| session ~id:0 ~src:0 ~dst:3 ~arrival:0.0 ~duration:1.0 |] in
+  let stats = Sim.run topo ~brokers:[| 0; 2 |] ~sessions (Sim.uniform_capacity 10.0) in
+  check_int "no path" 1 stats.Sim.rejected_no_path;
+  check_float "admission 0" 0.0 stats.Sim.admission_rate
+
+let test_sim_revenue_and_hops () =
+  let topo = star_topo 4 in
+  let sessions = [| session ~id:0 ~src:1 ~dst:2 ~arrival:0.0 ~duration:2.0 |] in
+  let config = Sim.uniform_capacity 5.0 in
+  let stats = Sim.run topo ~brokers:[| 0 |] ~sessions config in
+  check_float "two hops via center" 2.0 stats.Sim.mean_hops;
+  (* Revenue = 2 * price(1.0) * demand(1) * duration(2) = 4; no employees. *)
+  check_float "revenue" 4.0 stats.Sim.revenue;
+  check_float "no employee hops" 0.0 stats.Sim.employee_hop_fraction
+
+let test_sim_employee_hops () =
+  (* Path 0(broker) - 1 - 2(broker): vertex 1 is hired. *)
+  let graph = path_graph 3 in
+  let topo = { (star_topo 3) with Broker_topo.Topology.graph } in
+  let sessions = [| session ~id:0 ~src:0 ~dst:2 ~arrival:0.0 ~duration:1.0 |] in
+  let config = Sim.uniform_capacity 5.0 in
+  let stats = Sim.run topo ~brokers:[| 0; 2 |] ~sessions config in
+  check_int "admitted" 1 stats.Sim.admitted;
+  check_float "employee hops 2 of 2" 1.0 stats.Sim.employee_hop_fraction;
+  (* Revenue = 2*1*1*1 - 0.2*2*1*1 = 1.6. *)
+  check_float_eps 1e-9 "revenue net of employee" 1.6 stats.Sim.revenue
+
+let test_sim_unsorted_rejected () =
+  let topo = star_topo 4 in
+  let sessions =
+    [|
+      session ~id:0 ~src:1 ~dst:2 ~arrival:5.0 ~duration:1.0;
+      session ~id:1 ~src:1 ~dst:2 ~arrival:1.0 ~duration:1.0;
+    |]
+  in
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Simulator.run: sessions not sorted by arrival") (fun () ->
+      ignore (Sim.run topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 1.0)))
+
+let test_sim_utilization_bounds () =
+  let t = small_internet ~seed:3 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let brokers = Broker_core.Maxsg.run g ~k:15 in
+  let model = Broker_core.Traffic.gravity ~rng:(rng ()) g in
+  let sessions =
+    Workload.generate ~rng:(rng ()) model ~n_sessions:500 Workload.default_params
+  in
+  let stats = Sim.run t ~brokers ~sessions (Sim.degree_capacity g ~factor:0.2) in
+  check_bool "admission in [0,1]" true
+    (stats.Sim.admission_rate >= 0.0 && stats.Sim.admission_rate <= 1.0);
+  check_bool "utilization in [0,1]" true
+    (stats.Sim.mean_broker_utilization >= 0.0
+    && stats.Sim.mean_broker_utilization <= 1.0 +. 1e-9);
+  check_int "accounting adds up" stats.Sim.offered
+    (stats.Sim.admitted + stats.Sim.rejected_no_path + stats.Sim.rejected_capacity)
+
+(* ---------- Latency ---------- *)
+
+let test_latency_assign_all_edges () =
+  let t = small_internet ~seed:5 ~scale:0.005 () in
+  let lat = Latency.assign ~rng:(rng ()) t in
+  G.iter_edges t.Broker_topo.Topology.graph (fun u v ->
+      let l = Latency.edge_latency lat u v in
+      check_bool "positive" true (l > 0.0);
+      check_float "symmetric" l (Latency.edge_latency lat v u))
+
+let test_latency_relation_bases () =
+  let t = small_internet ~seed:5 ~scale:0.005 () in
+  let lat = Latency.assign ~rng:(rng ()) t in
+  G.iter_edges t.Broker_topo.Topology.graph (fun u v ->
+      let l = Latency.edge_latency lat u v in
+      match Broker_topo.Node_meta.Relations.find t.Broker_topo.Topology.relations u v with
+      | Some Broker_topo.Node_meta.Ixp_member ->
+          check_bool "ixp range" true (l >= 1.0 && l <= 3.0)
+      | Some Broker_topo.Node_meta.Peer ->
+          check_bool "peer range" true (l >= 2.5 && l <= 7.5)
+      | Some Broker_topo.Node_meta.Customer_provider ->
+          check_bool "transit range" true (l >= 5.0 && l <= 15.0)
+      | None -> ())
+
+let test_latency_path_latency () =
+  let t = small_internet ~seed:5 ~scale:0.005 () in
+  let lat = Latency.assign ~rng:(rng ()) t in
+  let g = t.Broker_topo.Topology.graph in
+  (* Pick any 2-hop path via a neighbor. *)
+  let u = 0 in
+  let nbrs = G.neighbors g u in
+  if Array.length nbrs > 0 then begin
+    let v = nbrs.(0) in
+    check_float "single hop" (Latency.edge_latency lat u v)
+      (Latency.path_latency lat [ u; v ]);
+    check_float "empty path" 0.0 (Latency.path_latency lat [ u ])
+  end
+
+let test_latency_stretch_at_least_one () =
+  let t = small_internet ~seed:5 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let n = G.n g in
+  let lat = Latency.assign ~rng:(rng ()) t in
+  let brokers = Broker_core.Maxsg.run g ~k:20 in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  let r = rng () in
+  let checked = ref 0 in
+  while !checked < 20 do
+    let src = Broker_util.Xrandom.int r n and dst = Broker_util.Xrandom.int r n in
+    if src <> dst then
+      match Latency.stretch lat t ~is_broker ~src ~dst with
+      | Some s ->
+          check_bool "stretch >= 1" true (s >= 1.0 -. 1e-9);
+          incr checked
+      | None -> incr checked
+  done
+
+let test_latency_min_path_dominated () =
+  let t = small_internet ~seed:5 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let n = G.n g in
+  let lat = Latency.assign ~rng:(rng ()) t in
+  let brokers = Broker_core.Maxsg.run g ~k:20 in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  match Latency.min_latency_path lat t ~is_broker ~src:0 ~dst:(n - 1) with
+  | None -> () (* endpoints may be outside the covered region *)
+  | Some (path, ms) ->
+      check_bool "dominated" true
+        (Broker_core.Dominating.is_dominated_path ~is_broker path);
+      check_float_eps 1e-9 "latency consistent" ms (Latency.path_latency lat path)
+
+let suite =
+  [
+    ( "sim.event_queue",
+      [
+        Alcotest.test_case "time order" `Quick test_eq_time_order;
+        Alcotest.test_case "stable ties" `Quick test_eq_stable_ties;
+        Alcotest.test_case "interleaved" `Quick test_eq_interleaved;
+        eq_qcheck_sorted;
+      ] );
+    ( "sim.workload",
+      [
+        Alcotest.test_case "sorted & valid" `Quick test_workload_sorted_and_valid;
+        Alcotest.test_case "arrival rate" `Quick test_workload_rate;
+        Alcotest.test_case "invalid" `Quick test_workload_invalid;
+      ] );
+    ( "sim.simulator",
+      [
+        Alcotest.test_case "capacity blocks" `Quick test_sim_capacity_blocks;
+        Alcotest.test_case "departures free capacity" `Quick test_sim_departure_frees_capacity;
+        Alcotest.test_case "no path" `Quick test_sim_no_path;
+        Alcotest.test_case "revenue & hops" `Quick test_sim_revenue_and_hops;
+        Alcotest.test_case "employee hops" `Quick test_sim_employee_hops;
+        Alcotest.test_case "unsorted rejected" `Quick test_sim_unsorted_rejected;
+        Alcotest.test_case "utilization bounds" `Quick test_sim_utilization_bounds;
+      ] );
+    ( "routing.latency",
+      [
+        Alcotest.test_case "assign all edges" `Quick test_latency_assign_all_edges;
+        Alcotest.test_case "relation bases" `Quick test_latency_relation_bases;
+        Alcotest.test_case "path latency" `Quick test_latency_path_latency;
+        Alcotest.test_case "stretch >= 1" `Quick test_latency_stretch_at_least_one;
+        Alcotest.test_case "min path dominated" `Quick test_latency_min_path_dominated;
+      ] );
+  ]

@@ -1,0 +1,235 @@
+(* Tests for Broker_topo: Node_meta, Topology, Classic generators,
+   Internet generator, Dataset round-trip. *)
+
+open Helpers
+module G = Broker_graph.Graph
+module Nm = Broker_topo.Node_meta
+module T = Broker_topo.Topology
+module Classic = Broker_topo.Classic
+module Internet = Broker_topo.Internet
+module Dataset = Broker_topo.Dataset
+
+(* ---------- Node_meta.Relations ---------- *)
+
+let test_relations_c2p_orientation () =
+  let r = Nm.Relations.create () in
+  Nm.Relations.add_c2p r ~customer:5 ~provider:2;
+  check_bool "customer" true (Nm.Relations.customer_of r 5 2);
+  check_bool "not reversed" false (Nm.Relations.customer_of r 2 5);
+  check_bool "provider" true (Nm.Relations.provider_of r 2 5);
+  check_bool "find" true (Nm.Relations.find r 2 5 = Some Nm.Customer_provider);
+  check_bool "not peers" false (Nm.Relations.peers r 5 2)
+
+let test_relations_peer_ixp () =
+  let r = Nm.Relations.create () in
+  Nm.Relations.add_peer r 1 2;
+  Nm.Relations.add_ixp_member r ~as_node:3 ~ixp:9;
+  check_bool "peer both ways" true (Nm.Relations.peers r 2 1);
+  check_bool "ixp as peer" true (Nm.Relations.peers r 3 9);
+  check_bool "find ixp" true (Nm.Relations.find r 9 3 = Some Nm.Ixp_member);
+  check_bool "missing" true (Nm.Relations.find r 1 9 = None);
+  check_int "cardinal" 2 (Nm.Relations.cardinal r)
+
+let test_relations_self_edge () =
+  let r = Nm.Relations.create () in
+  Alcotest.check_raises "self" (Invalid_argument "Relations.add_peer: self edge")
+    (fun () -> Nm.Relations.add_peer r 4 4)
+
+(* ---------- Classic generators ---------- *)
+
+let test_er_size () =
+  let g = Classic.erdos_renyi ~rng:(rng ()) ~n:200 ~m:400 in
+  check_int "n" 200 (G.n g);
+  check_bool "m close to target" true (G.m g > 350 && G.m g <= 400)
+
+let test_ws_degree () =
+  let g = Classic.watts_strogatz ~rng:(rng ()) ~n:100 ~k:4 ~beta:0.0 in
+  (* No rewiring: a perfect ring lattice, everyone degree 4. *)
+  for v = 0 to 99 do
+    check_int "lattice degree" 4 (G.degree g v)
+  done
+
+let test_ws_rewired_connect () =
+  let g = Classic.watts_strogatz ~rng:(rng ()) ~n:100 ~k:4 ~beta:0.3 in
+  check_int "n" 100 (G.n g);
+  check_bool "about 2n edges" true (abs (G.m g - 200) < 20)
+
+let test_ws_bad_k () =
+  Alcotest.check_raises "odd k"
+    (Invalid_argument "Classic.watts_strogatz: k must be positive and even")
+    (fun () -> ignore (Classic.watts_strogatz ~rng:(rng ()) ~n:10 ~k:3 ~beta:0.0))
+
+let test_ba_heavy_tail () =
+  let g = Classic.barabasi_albert ~rng:(rng ()) ~n:500 ~m:3 in
+  check_int "n" 500 (G.n g);
+  (* Preferential attachment: the max degree is far above the mean. *)
+  let avg = Broker_graph.Metrics.average_degree g in
+  check_bool "hub exists" true (float_of_int (G.max_degree g) > 4.0 *. avg);
+  (* connected by construction *)
+  let c = Broker_graph.Components.compute g in
+  check_int "connected" 1 (Broker_graph.Components.count c)
+
+(* ---------- Internet generator ---------- *)
+
+let small = lazy (small_internet ~seed:77 ~scale:0.02 ())
+
+let test_internet_table2_shape () =
+  let t = Lazy.force small in
+  let s = Dataset.summarize t in
+  let p = Internet.scaled 0.02 in
+  check_int "ixps" p.Internet.n_ixp s.Dataset.ixps;
+  check_int "ases" p.Internet.n_as s.Dataset.ases;
+  check_bool "as-as edges within 2%" true
+    (abs (s.Dataset.as_as_connections - p.Internet.as_as_edge_target)
+    < p.Internet.as_as_edge_target / 50);
+  check_bool "as-ixp edges within 5%" true
+    (abs (s.Dataset.as_ixp_connections - p.Internet.as_ixp_edge_target)
+    < p.Internet.as_ixp_edge_target / 20);
+  check_float_eps 0.02 "ixp membership fraction" 0.402 s.Dataset.ixp_connected_fraction
+
+let test_internet_giant_component () =
+  let t = Lazy.force small in
+  let s = Dataset.summarize t in
+  check_bool "giant component ~ everything" true
+    (s.Dataset.max_connected_subgraph > 99 * T.n t / 100)
+
+let test_internet_deterministic () =
+  let a = small_internet ~seed:5 ~scale:0.01 () in
+  let b = small_internet ~seed:5 ~scale:0.01 () in
+  Alcotest.(check (array (pair int int))) "same edges"
+    (G.edges a.T.graph) (G.edges b.T.graph);
+  let c = small_internet ~seed:6 ~scale:0.01 () in
+  check_bool "different seed differs" false (G.edges a.T.graph = G.edges c.T.graph)
+
+let test_internet_relations_complete () =
+  let t = Lazy.force small in
+  let missing = ref 0 in
+  G.iter_edges t.T.graph (fun u v ->
+      if Nm.Relations.find t.T.relations u v = None then incr missing);
+  check_int "every edge classified" 0 !missing
+
+let test_internet_ixp_edges_touch_ixps () =
+  let t = Lazy.force small in
+  let bad = ref 0 in
+  G.iter_edges t.T.graph (fun u v ->
+      match Nm.Relations.find t.T.relations u v with
+      | Some Nm.Ixp_member -> if not (T.is_ixp t u || T.is_ixp t v) then incr bad
+      | Some Nm.Customer_provider | Some Nm.Peer ->
+          if T.is_ixp t u || T.is_ixp t v then incr bad
+      | None -> ()
+  );
+  check_int "relation kinds consistent with node kinds" 0 !bad
+
+let test_internet_tiers () =
+  let t = Lazy.force small in
+  let tier1 = T.tier1_members t in
+  check_int "tier1 count" (Internet.scaled 0.02).Internet.n_tier1 (Array.length tier1);
+  (* Tier-1 clique: all pairs connected, as peers. *)
+  Array.iter
+    (fun u ->
+      Array.iter
+        (fun v ->
+          if u <> v then begin
+            check_bool "clique edge" true (G.mem_edge t.T.graph u v);
+            check_bool "peer link" true (Nm.Relations.peers t.T.relations u v)
+          end)
+        tier1)
+    tier1
+
+let test_internet_small_world () =
+  let t = Lazy.force small in
+  let est =
+    Broker_core.Alpha_beta.estimate ~rng:(rng ()) ~sources:32 t.T.graph ~alpha:0.99
+  in
+  check_bool "beta small" true (est.Broker_core.Alpha_beta.beta <= 5)
+
+let test_internet_scaled_bounds () =
+  Alcotest.check_raises "scale 0" (Invalid_argument "Internet.scaled: factor in (0,1]")
+    (fun () -> ignore (Internet.scaled 0.0))
+
+(* ---------- Topology ---------- *)
+
+let test_topology_counts () =
+  let t = Lazy.force small in
+  let total =
+    List.fold_left (fun acc k -> acc + T.count_kind t k) 0 Nm.all_kinds
+  in
+  check_int "kinds partition nodes" (T.n t) total;
+  check_int "edge split" (G.m t.T.graph) (T.as_as_edges t + T.as_ixp_edges t)
+
+let test_topology_ases_only () =
+  let t = Lazy.force small in
+  let restricted, mapping = T.with_ases_only t in
+  check_int "no ixps left" 0 (T.count_kind restricted Nm.Ixp);
+  check_int "as count preserved" (Array.length (T.ases t)) (T.n restricted);
+  check_int "edges are the AS-AS edges" (T.as_as_edges t) (G.m restricted.T.graph);
+  (* Mapping consistency: kinds survive. *)
+  Array.iteri
+    (fun new_id old_id ->
+      check_bool "kind preserved" true
+        (Nm.kind_equal restricted.T.kinds.(new_id) t.T.kinds.(old_id)))
+    mapping
+
+(* ---------- Dataset ---------- *)
+
+let test_dataset_roundtrip () =
+  let t = small_internet ~seed:9 ~scale:0.005 () in
+  let path = Filename.temp_file "topo" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset.save ~path t;
+      let t' = Dataset.load ~path in
+      check_int "n" (T.n t) (T.n t');
+      Alcotest.(check (array (pair int int))) "edges" (G.edges t.T.graph) (G.edges t'.T.graph);
+      for v = 0 to T.n t - 1 do
+        check_bool "kind" true (Nm.kind_equal t.T.kinds.(v) t'.T.kinds.(v));
+        check_int "tier" t.T.tiers.(v) t'.T.tiers.(v);
+        Alcotest.(check string) "name" t.T.names.(v) t'.T.names.(v)
+      done;
+      (* Relations survive with orientation. *)
+      let mismatch = ref 0 in
+      G.iter_edges t.T.graph (fun u v ->
+          let r1 = Nm.Relations.find t.T.relations u v in
+          let r2 = Nm.Relations.find t'.T.relations u v in
+          if r1 <> r2 then incr mismatch;
+          if
+            Nm.Relations.customer_of t.T.relations u v
+            <> Nm.Relations.customer_of t'.T.relations u v
+          then incr mismatch);
+      check_int "relations preserved" 0 !mismatch)
+
+let suite =
+  [
+    ( "topo.relations",
+      [
+        Alcotest.test_case "c2p orientation" `Quick test_relations_c2p_orientation;
+        Alcotest.test_case "peer & ixp" `Quick test_relations_peer_ixp;
+        Alcotest.test_case "self edge" `Quick test_relations_self_edge;
+      ] );
+    ( "topo.classic",
+      [
+        Alcotest.test_case "ER size" `Quick test_er_size;
+        Alcotest.test_case "WS lattice degree" `Quick test_ws_degree;
+        Alcotest.test_case "WS rewired" `Quick test_ws_rewired_connect;
+        Alcotest.test_case "WS bad k" `Quick test_ws_bad_k;
+        Alcotest.test_case "BA heavy tail" `Quick test_ba_heavy_tail;
+      ] );
+    ( "topo.internet",
+      [
+        Alcotest.test_case "Table-2 shape" `Quick test_internet_table2_shape;
+        Alcotest.test_case "giant component" `Quick test_internet_giant_component;
+        Alcotest.test_case "deterministic" `Quick test_internet_deterministic;
+        Alcotest.test_case "relations complete" `Quick test_internet_relations_complete;
+        Alcotest.test_case "relation/node kinds" `Quick test_internet_ixp_edges_touch_ixps;
+        Alcotest.test_case "tier-1 clique" `Quick test_internet_tiers;
+        Alcotest.test_case "small world" `Quick test_internet_small_world;
+        Alcotest.test_case "scaled bounds" `Quick test_internet_scaled_bounds;
+      ] );
+    ( "topo.topology",
+      [
+        Alcotest.test_case "counts" `Quick test_topology_counts;
+        Alcotest.test_case "ases only" `Quick test_topology_ases_only;
+      ] );
+    ("topo.dataset", [ Alcotest.test_case "roundtrip" `Quick test_dataset_roundtrip ]);
+  ]

@@ -1,0 +1,462 @@
+(* Unit + property tests for Broker_util: Xrandom, Bitset, Heap,
+   Union_find, Stats, Sampling, Optimize, Table. *)
+
+open Helpers
+module R = Broker_util.Xrandom
+module Bitset = Broker_util.Bitset
+module Heap = Broker_util.Heap
+module Uf = Broker_util.Union_find
+module Stats = Broker_util.Stats
+module Sampling = Broker_util.Sampling
+module Opt = Broker_util.Optimize
+module Table = Broker_util.Table
+
+(* ---------- Xrandom ---------- *)
+
+let test_xrandom_deterministic () =
+  let a = R.create 1 and b = R.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (R.bits64 a) (R.bits64 b)
+  done
+
+let test_xrandom_different_seeds () =
+  let a = R.create 1 and b = R.create 2 in
+  check_bool "different streams" false (R.bits64 a = R.bits64 b)
+
+let test_xrandom_copy_independent () =
+  let a = R.create 3 in
+  let b = R.copy a in
+  Alcotest.(check int64) "copy matches" (R.bits64 a) (R.bits64 b);
+  ignore (R.bits64 a);
+  (* advancing a does not affect b's next draw *)
+  let a' = R.bits64 a and b' = R.bits64 b in
+  check_bool "diverged" false (a' = b')
+
+let test_xrandom_int_bounds () =
+  let r = rng () in
+  for _ = 1 to 10_000 do
+    let v = R.int r 7 in
+    check_bool "in [0,7)" true (v >= 0 && v < 7)
+  done
+
+let test_xrandom_int_in () =
+  let r = rng () in
+  for _ = 1 to 1_000 do
+    let v = R.int_in r (-5) 5 in
+    check_bool "in [-5,5]" true (v >= -5 && v <= 5)
+  done
+
+let test_xrandom_float_mean () =
+  let r = rng () in
+  let n = 20_000 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. R.float r 1.0
+  done;
+  check_float_eps 0.02 "uniform mean" 0.5 (!acc /. float_of_int n)
+
+let test_xrandom_bernoulli () =
+  let r = rng () in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if R.bernoulli r 0.3 then incr hits
+  done;
+  check_float_eps 0.03 "p=0.3" 0.3 (float_of_int !hits /. 10_000.0)
+
+let test_xrandom_shuffle_permutes () =
+  let r = rng () in
+  let a = Array.init 50 (fun i -> i) in
+  R.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 (fun i -> i)) sorted
+
+let test_xrandom_permutation () =
+  let r = rng () in
+  let p = R.permutation r 30 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 30 (fun i -> i)) sorted
+
+let test_xrandom_invalid_args () =
+  let r = rng () in
+  Alcotest.check_raises "int 0" (Invalid_argument "Xrandom.int: bound must be positive")
+    (fun () -> ignore (R.int r 0));
+  Alcotest.check_raises "pick empty" (Invalid_argument "Xrandom.pick: empty array")
+    (fun () -> ignore (R.pick r [||]))
+
+let test_xrandom_exponential_positive () =
+  let r = rng () in
+  for _ = 1 to 1_000 do
+    check_bool "positive" true (R.exponential r 2.0 >= 0.0)
+  done
+
+let test_xrandom_pareto_min () =
+  let r = rng () in
+  for _ = 1 to 1_000 do
+    check_bool ">= x_min" true (R.pareto r ~alpha:1.5 ~x_min:2.0 >= 2.0)
+  done
+
+let test_xrandom_geometric () =
+  let r = rng () in
+  for _ = 1 to 1_000 do
+    check_bool "non-negative" true (R.geometric r 0.5 >= 0)
+  done;
+  check_int "p=1 -> 0" 0 (R.geometric r 1.0)
+
+let xrandom_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"Xrandom.int in range"
+       QCheck.(pair (int_range 1 1000) small_nat)
+       (fun (bound, seed) ->
+         let r = R.create seed in
+         let v = R.int r bound in
+         v >= 0 && v < bound))
+
+(* ---------- Bitset ---------- *)
+
+let test_bitset_basic () =
+  let s = Bitset.create 100 in
+  check_bool "empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 99;
+  check_bool "mem 0" true (Bitset.mem s 0);
+  check_bool "mem 63" true (Bitset.mem s 63);
+  check_bool "mem 99" true (Bitset.mem s 99);
+  check_bool "not mem 50" false (Bitset.mem s 50);
+  check_int "cardinal" 3 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  check_bool "removed" false (Bitset.mem s 63);
+  check_int "cardinal after remove" 2 (Bitset.cardinal s)
+
+let test_bitset_iter_order () =
+  let s = Bitset.of_list 200 [ 150; 3; 77; 3 ] in
+  Alcotest.(check (list int)) "sorted members" [ 3; 77; 150 ] (Bitset.to_list s)
+
+let test_bitset_union_inter () =
+  let a = Bitset.of_list 64 [ 1; 2; 3 ] in
+  let b = Bitset.of_list 64 [ 3; 4 ] in
+  check_int "inter" 1 (Bitset.inter_cardinal a b);
+  Bitset.union_into ~into:a b;
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4 ] (Bitset.to_list a)
+
+let test_bitset_bounds () =
+  let s = Bitset.create 10 in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Bitset: index out of bounds") (fun () -> Bitset.add s 10)
+
+let test_bitset_clear_copy () =
+  let s = Bitset.of_list 32 [ 5; 6 ] in
+  let c = Bitset.copy s in
+  Bitset.clear s;
+  check_bool "cleared" true (Bitset.is_empty s);
+  check_int "copy intact" 2 (Bitset.cardinal c)
+
+let bitset_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"Bitset matches list-set semantics"
+       QCheck.(small_list (int_range 0 255))
+       (fun items ->
+         let s = Bitset.of_list 256 items in
+         let reference = List.sort_uniq compare items in
+         Bitset.to_list s = reference
+         && Bitset.cardinal s = List.length reference))
+
+(* ---------- Heap ---------- *)
+
+let test_heap_sorts_min () =
+  let h = Heap.create Heap.Min in
+  List.iter (fun (p, v) -> Heap.push h ~priority:p v)
+    [ (3.0, 3); (1.0, 1); (2.0, 2); (0.5, 0) ];
+  let order = List.init 4 (fun _ -> snd (Heap.pop_exn h)) in
+  Alcotest.(check (list int)) "ascending" [ 0; 1; 2; 3 ] order
+
+let test_heap_sorts_max () =
+  let h = Heap.create Heap.Max in
+  List.iter (fun v -> Heap.push h ~priority:(float_of_int v) v) [ 5; 1; 9; 3 ];
+  let order = List.init 4 (fun _ -> snd (Heap.pop_exn h)) in
+  Alcotest.(check (list int)) "descending" [ 9; 5; 3; 1 ] order
+
+let test_heap_empty () =
+  let h = Heap.create Heap.Min in
+  check_bool "pop empty" true (Heap.pop h = None);
+  check_bool "peek empty" true (Heap.peek h = None);
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_grow () =
+  let h = Heap.create ~initial_capacity:1 Heap.Min in
+  for i = 99 downto 0 do
+    Heap.push h ~priority:(float_of_int i) i
+  done;
+  check_int "size" 100 (Heap.size h);
+  for i = 0 to 99 do
+    check_int "ordered" i (snd (Heap.pop_exn h))
+  done
+
+let heap_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"Heap sort = List.sort"
+       QCheck.(small_list (float_range (-1000.0) 1000.0))
+       (fun floats ->
+         let h = Heap.create Heap.Min in
+         List.iteri (fun i p -> Heap.push h ~priority:p i) floats;
+         let popped = List.init (List.length floats) (fun _ -> fst (Heap.pop_exn h)) in
+         popped = List.sort compare floats))
+
+(* ---------- Union_find ---------- *)
+
+let test_uf_basic () =
+  let uf = Uf.create 10 in
+  check_int "initial count" 10 (Uf.count uf);
+  check_bool "union" true (Uf.union uf 0 1);
+  check_bool "redundant union" false (Uf.union uf 0 1);
+  check_bool "same" true (Uf.same uf 0 1);
+  check_bool "not same" false (Uf.same uf 0 2);
+  check_int "size" 2 (Uf.size uf 1);
+  check_int "count" 9 (Uf.count uf)
+
+let test_uf_max_component () =
+  let uf = Uf.create 8 in
+  ignore (Uf.union uf 0 1);
+  ignore (Uf.union uf 1 2);
+  ignore (Uf.union uf 3 4);
+  check_int "max size" 3 (Uf.max_component_size uf);
+  ignore (Uf.union uf 3 5);
+  ignore (Uf.union uf 5 6);
+  check_int "max size moves" 4 (Uf.max_component_size uf)
+
+(* ---------- Stats ---------- *)
+
+let test_stats_moments () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Stats.mean xs);
+  check_float "variance" 1.25 (Stats.variance xs);
+  check_float "stddev" (sqrt 1.25) (Stats.stddev xs)
+
+let test_stats_quantiles () =
+  let xs = [| 4.0; 1.0; 3.0; 2.0 |] in
+  check_float "median" 2.5 (Stats.median xs);
+  check_float "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1" 4.0 (Stats.quantile xs 1.0)
+
+let test_stats_pearson () =
+  let xs = [| 1.0; 2.0; 3.0 |] in
+  check_float "perfect" 1.0 (Stats.pearson xs [| 2.0; 4.0; 6.0 |]);
+  check_float "anti" (-1.0) (Stats.pearson xs [| 3.0; 2.0; 1.0 |]);
+  check_float "constant" 0.0 (Stats.pearson xs [| 5.0; 5.0; 5.0 |])
+
+let test_stats_spearman () =
+  (* Monotone but nonlinear: Spearman 1, Pearson < 1. *)
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let ys = [| 1.0; 10.0; 100.0; 1000.0 |] in
+  check_float "spearman" 1.0 (Stats.spearman xs ys);
+  check_bool "pearson below" true (Stats.pearson xs ys < 1.0)
+
+let test_stats_ranks_ties () =
+  Alcotest.(check (array (float 1e-9)))
+    "mid-ranks" [| 1.5; 1.5; 3.0 |]
+    (Stats.ranks [| 7.0; 7.0; 9.0 |])
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:4 [| 0.0; 1.0; 2.0; 3.0; 4.0 |] in
+  check_int "total preserved" 5 (Array.fold_left ( + ) 0 h.Stats.counts)
+
+let test_stats_cdf () =
+  let pts = Stats.cdf [| 3.0; 1.0; 2.0 |] in
+  Alcotest.(check (list (pair (float 1e-9) (float 1e-9))))
+    "cdf points"
+    [ (1.0, 1.0 /. 3.0); (2.0, 2.0 /. 3.0); (3.0, 1.0) ]
+    pts;
+  check_float "cdf_at" (2.0 /. 3.0) (Stats.cdf_at [| 3.0; 1.0; 2.0 |] 2.5)
+
+let test_stats_linear_fit () =
+  let slope, intercept = Stats.linear_fit [| 0.0; 1.0; 2.0 |] [| 1.0; 3.0; 5.0 |] in
+  check_float "slope" 2.0 slope;
+  check_float "intercept" 1.0 intercept
+
+let test_stats_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  check_int "n" 3 s.Stats.n;
+  check_float "min" 1.0 s.Stats.min;
+  check_float "max" 3.0 s.Stats.max
+
+let stats_qcheck_quantile =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"quantile within [min,max]"
+       QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_range (-100.) 100.)) (float_range 0.0 1.0))
+       (fun (l, q) ->
+         let xs = Array.of_list l in
+         let v = Stats.quantile xs q in
+         let lo = Array.fold_left min xs.(0) xs and hi = Array.fold_left max xs.(0) xs in
+         v >= lo -. 1e-9 && v <= hi +. 1e-9))
+
+(* ---------- Sampling ---------- *)
+
+let test_sampling_without_replacement () =
+  let r = rng () in
+  let s = Sampling.without_replacement r ~n:100 ~k:30 in
+  check_int "k items" 30 (Array.length s);
+  let sorted = Array.copy s in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "sorted output" sorted s;
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  check_int "distinct" 30 (List.length distinct);
+  Array.iter (fun v -> check_bool "range" true (v >= 0 && v < 100)) s
+
+let test_sampling_full () =
+  let r = rng () in
+  let s = Sampling.without_replacement r ~n:10 ~k:10 in
+  Alcotest.(check (array int)) "all items" (Array.init 10 (fun i -> i)) s
+
+let test_sampling_reservoir () =
+  let r = rng () in
+  let s = Sampling.reservoir r ~k:5 (List.to_seq (List.init 100 (fun i -> i))) in
+  check_int "k items" 5 (Array.length s);
+  let s2 = Sampling.reservoir r ~k:50 (List.to_seq [ 1; 2; 3 ]) in
+  check_int "short stream" 3 (Array.length s2)
+
+let test_sampling_weighted_index () =
+  let r = rng () in
+  let hits = Array.make 3 0 in
+  for _ = 1 to 3_000 do
+    let i = Sampling.weighted_index r [| 1.0; 2.0; 1.0 |] in
+    hits.(i) <- hits.(i) + 1
+  done;
+  check_bool "middle heaviest" true (hits.(1) > hits.(0) && hits.(1) > hits.(2))
+
+let test_sampling_alias () =
+  let r = rng () in
+  let draw = Sampling.weighted_alias [| 1.0; 0.0; 3.0 |] in
+  let hits = Array.make 3 0 in
+  for _ = 1 to 4_000 do
+    let i = draw r in
+    hits.(i) <- hits.(i) + 1
+  done;
+  check_int "zero weight never drawn" 0 hits.(1);
+  check_bool "heavy dominates" true (hits.(2) > 2 * hits.(0))
+
+(* ---------- Optimize ---------- *)
+
+let test_golden_section () =
+  let x, fx = Opt.golden_section_max (fun x -> -.((x -. 2.0) ** 2.0)) ~lo:0.0 ~hi:5.0 in
+  check_float_eps 1e-6 "argmax" 2.0 x;
+  check_float_eps 1e-9 "max" 0.0 fx
+
+let test_bisect_root () =
+  let x = Opt.bisect_root (fun x -> (x *. x) -. 2.0) ~lo:0.0 ~hi:2.0 in
+  check_float_eps 1e-9 "sqrt2" (sqrt 2.0) x
+
+let test_bisect_no_sign_change () =
+  Alcotest.check_raises "no bracket"
+    (Invalid_argument "Optimize.bisect_root: no sign change") (fun () ->
+      ignore (Opt.bisect_root (fun x -> x +. 10.0) ~lo:0.0 ~hi:1.0))
+
+let test_grid_then_golden_bimodal () =
+  (* Two peaks at 1 and 4; the higher is at 4. Plain golden section from
+     the full bracket can land on the wrong one; the grid localizes. *)
+  let f x = Float.max (1.0 -. ((x -. 1.0) ** 2.0)) (1.5 -. ((x -. 4.0) ** 2.0)) in
+  let x, _ = Opt.grid_then_golden ~steps:64 f ~lo:0.0 ~hi:5.0 in
+  check_float_eps 0.05 "higher peak" 4.0 x
+
+(* ---------- Table ---------- *)
+
+let test_table_render () =
+  let t = Table.create ~headers:[ "name"; "value" ] in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let out = Table.render t in
+  check_bool "has header" true
+    (String.length out > 0
+    && String.sub out 0 4 = "name");
+  (* Numeric column right-aligned: " 1" before "22". *)
+  check_bool "contains rows" true
+    (String.length out > 0)
+
+let test_table_arity () =
+  let t = Table.create ~headers:[ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "only one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "pct" "12.50%" (Table.cell_pct 0.125);
+  Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
+  Alcotest.(check string) "int" "42" (Table.cell_int 42)
+
+let suite =
+  [
+    ( "util.xrandom",
+      [
+        Alcotest.test_case "deterministic" `Quick test_xrandom_deterministic;
+        Alcotest.test_case "seed sensitivity" `Quick test_xrandom_different_seeds;
+        Alcotest.test_case "copy independence" `Quick test_xrandom_copy_independent;
+        Alcotest.test_case "int bounds" `Quick test_xrandom_int_bounds;
+        Alcotest.test_case "int_in bounds" `Quick test_xrandom_int_in;
+        Alcotest.test_case "float mean" `Quick test_xrandom_float_mean;
+        Alcotest.test_case "bernoulli rate" `Quick test_xrandom_bernoulli;
+        Alcotest.test_case "shuffle permutes" `Quick test_xrandom_shuffle_permutes;
+        Alcotest.test_case "permutation" `Quick test_xrandom_permutation;
+        Alcotest.test_case "invalid args" `Quick test_xrandom_invalid_args;
+        Alcotest.test_case "exponential" `Quick test_xrandom_exponential_positive;
+        Alcotest.test_case "pareto min" `Quick test_xrandom_pareto_min;
+        Alcotest.test_case "geometric" `Quick test_xrandom_geometric;
+        xrandom_qcheck;
+      ] );
+    ( "util.bitset",
+      [
+        Alcotest.test_case "basic ops" `Quick test_bitset_basic;
+        Alcotest.test_case "iter order" `Quick test_bitset_iter_order;
+        Alcotest.test_case "union/inter" `Quick test_bitset_union_inter;
+        Alcotest.test_case "bounds check" `Quick test_bitset_bounds;
+        Alcotest.test_case "clear/copy" `Quick test_bitset_clear_copy;
+        bitset_qcheck;
+      ] );
+    ( "util.heap",
+      [
+        Alcotest.test_case "min order" `Quick test_heap_sorts_min;
+        Alcotest.test_case "max order" `Quick test_heap_sorts_max;
+        Alcotest.test_case "empty" `Quick test_heap_empty;
+        Alcotest.test_case "grow" `Quick test_heap_grow;
+        heap_qcheck;
+      ] );
+    ( "util.union_find",
+      [
+        Alcotest.test_case "basic" `Quick test_uf_basic;
+        Alcotest.test_case "max component" `Quick test_uf_max_component;
+      ] );
+    ( "util.stats",
+      [
+        Alcotest.test_case "moments" `Quick test_stats_moments;
+        Alcotest.test_case "quantiles" `Quick test_stats_quantiles;
+        Alcotest.test_case "pearson" `Quick test_stats_pearson;
+        Alcotest.test_case "spearman" `Quick test_stats_spearman;
+        Alcotest.test_case "rank ties" `Quick test_stats_ranks_ties;
+        Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        Alcotest.test_case "cdf" `Quick test_stats_cdf;
+        Alcotest.test_case "linear fit" `Quick test_stats_linear_fit;
+        Alcotest.test_case "summary" `Quick test_stats_summary;
+        stats_qcheck_quantile;
+      ] );
+    ( "util.sampling",
+      [
+        Alcotest.test_case "without replacement" `Quick test_sampling_without_replacement;
+        Alcotest.test_case "k = n" `Quick test_sampling_full;
+        Alcotest.test_case "reservoir" `Quick test_sampling_reservoir;
+        Alcotest.test_case "weighted index" `Quick test_sampling_weighted_index;
+        Alcotest.test_case "alias method" `Quick test_sampling_alias;
+      ] );
+    ( "util.optimize",
+      [
+        Alcotest.test_case "golden section" `Quick test_golden_section;
+        Alcotest.test_case "bisect root" `Quick test_bisect_root;
+        Alcotest.test_case "bisect bad bracket" `Quick test_bisect_no_sign_change;
+        Alcotest.test_case "bimodal grid+golden" `Quick test_grid_then_golden_bimodal;
+      ] );
+    ( "util.table",
+      [
+        Alcotest.test_case "render" `Quick test_table_render;
+        Alcotest.test_case "arity" `Quick test_table_arity;
+        Alcotest.test_case "cell formats" `Quick test_table_cells;
+      ] );
+  ]
