@@ -87,7 +87,7 @@ let run_timings () =
         match Analyze.OLS.estimates result with
         | Some [ est ] -> Printf.printf "%-44s %12.3f ms/run\n" key (est /. 1e6)
         | Some _ | None -> Printf.printf "%-44s (no estimate)\n" key)
-      (List.sort compare rows)
+      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
   in
   benchmark "tables_and_figures" (experiment_tests ());
   benchmark "kernels" (kernel_tests ())

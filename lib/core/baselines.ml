@@ -5,8 +5,8 @@ let order_by_score g score =
   (* Stable by id on ties: compare scores descending, then ids ascending. *)
   Array.sort
     (fun a b ->
-      let c = compare (score b) (score a) in
-      if c <> 0 then c else compare a b)
+      let c = Float.compare (score b) (score a) in
+      if c <> 0 then c else Int.compare a b)
     idx;
   idx
 
@@ -50,8 +50,8 @@ let ixpb topo ~min_degree =
   let arr = Array.of_list selected in
   Array.sort
     (fun a b ->
-      let c = compare (G.degree g b) (G.degree g a) in
-      if c <> 0 then c else compare a b)
+      let c = Int.compare (G.degree g b) (G.degree g a) in
+      if c <> 0 then c else Int.compare a b)
     arr;
   arr
 

@@ -23,7 +23,7 @@ let shares topo ~brokers =
                  (if total = 0 then 0.0
                   else float_of_int count /. float_of_int total);
              })
-  |> List.sort (fun a b -> compare b.count a.count)
+  |> List.sort (fun a b -> Int.compare b.count a.count)
 
 type ranked = { rank : int; node : int; kind : Nm.kind; name : string; degree : int }
 

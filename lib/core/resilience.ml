@@ -14,8 +14,8 @@ let elimination_order ~rng g ~brokers ~model =
   | Targeted ->
       Array.sort
         (fun a b ->
-          let c = compare (G.degree g b) (G.degree g a) in
-          if c <> 0 then c else compare a b)
+          let c = Int.compare (G.degree g b) (G.degree g a) in
+          if c <> 0 then c else Int.compare a b)
         order);
   order
 

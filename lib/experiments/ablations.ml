@@ -21,8 +21,8 @@ let celf_vs_naive ctx =
   let t = Table.create ~headers:[ "Implementation"; "Gain evals"; "Seconds" ] in
   Table.add_row t [ "naive"; Table.cell_int evals_naive; Printf.sprintf "%.3f" t_naive ];
   Table.add_row t [ "CELF"; Table.cell_int evals_celf; Printf.sprintf "%.3f" t_celf ];
-  Table.print t;
-  Printf.printf "Outputs identical: %b (submodularity makes lazy evaluation exact).\n"
+  Ctx.table t;
+  Ctx.printf "Outputs identical: %b (submodularity makes lazy evaluation exact).\n"
     (naive = celf)
 
 let beta_sweep ctx =
@@ -57,11 +57,11 @@ let beta_sweep ctx =
           Table.cell_pct sat;
         ])
     [ 2; 4; 6; 8 ];
-  Table.print t;
+  Ctx.table t;
   (* Single-root shortcut comparison at beta=4. *)
   let full = Broker_core.Mcbg.run ~all_roots:true g ~k ~beta:4 in
   let quick = Broker_core.Mcbg.run ~all_roots:false g ~k ~beta:4 in
-  Printf.printf
+  Ctx.printf
     "Single-root shortcut: %d connectors vs %d with all-roots search (identical coverage brokers).\n"
     (Array.length quick.Broker_core.Mcbg.connectors)
     (Array.length full.Broker_core.Mcbg.connectors)
@@ -88,8 +88,8 @@ let sampling_accuracy ctx =
             (abs_float (sampled.Conn.saturated -. exact.Conn.saturated));
         ])
     [ 16; 64; 256; 1024 ];
-  Table.print t;
-  Printf.printf "The default budget (192+ sources) keeps deviation well under 1%%.\n"
+  Ctx.table t;
+  Ctx.printf "The default budget (192+ sources) keeps deviation well under 1%%.\n"
 
 let run ctx =
   celf_vs_naive ctx;

@@ -39,14 +39,14 @@ let run_all ctx =
     (fun e ->
       e.run ctx;
       (* Keep long runs observable when stdout is a file. *)
-      flush stdout)
+      Ctx.flush_out ())
     experiments
 
 let run_one ctx id =
   match find id with
   | Some e ->
       e.run ctx;
-      flush stdout;
+      Ctx.flush_out ();
       Ok ()
   | None ->
       Error

@@ -148,6 +148,16 @@ let free_curve t =
       t.free <- Some c;
       c
 
+(* All experiment reports funnel through one redirectable formatter so
+   library code never touches stdout directly (brokerlint: no-stdout-in-lib)
+   and harnesses can capture a run into a buffer or file. *)
+let out_ppf = ref Format.std_formatter
+let set_out ppf = out_ppf := ppf
+let out () = !out_ppf
+let printf fmt = Format.fprintf !out_ppf fmt
+let table t = printf "%s" (Broker_util.Table.render t)
+let flush_out () = Format.pp_print_flush !out_ppf ()
+
 let section title =
   let bar = String.make 72 '=' in
-  Printf.printf "\n%s\n%s\n%s\n" bar title bar
+  printf "\n%s\n%s\n%s\n" bar title bar

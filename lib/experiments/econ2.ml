@@ -79,23 +79,23 @@ let run ctx =
       Table.add_row t
         [ Printf.sprintf "#%d" (j + 1); Printf.sprintf "%.5f" phi ])
     r.shapley;
-  Table.print t;
+  Ctx.table t;
   let pp_check name (c : Broker_econ.Coalition.check) =
-    Printf.printf "%s: %s (%d violations / %d trials)\n" name
+    Ctx.printf "%s: %s (%d violations / %d trials)\n" name
       (if c.Broker_econ.Coalition.holds then "holds" else "VIOLATED")
       c.Broker_econ.Coalition.violations c.Broker_econ.Coalition.trials
   in
-  Printf.printf "Efficiency gap |sum phi - v(N)|: %.2e\n" r.efficiency_gap;
+  Ctx.printf "Efficiency gap |sum phi - v(N)|: %.2e\n" r.efficiency_gap;
   pp_check "Superadditivity (Thm 7 hypothesis)" r.superadditive;
   pp_check "Supermodularity (Thm 8 hypothesis)" r.supermodular;
-  Printf.printf
+  Ctx.printf
     "(the paper predicts supermodularity holds early and breaks once the important ASes are in)\n";
-  Printf.printf "Individual rationality phi_j >= v({j}): %b\n"
+  Ctx.printf "Individual rationality phi_j >= v({j}): %b\n"
     r.individually_rational;
   pp_check "Group rationality (core membership)" r.group_rational;
   (match r.supermodularity_break with
   | Some i ->
-      Printf.printf
+      Ctx.printf
         "Marginal contribution starts decaying at broker #%d - the paper's signal to stop growing B.\n"
         (i + 1)
-  | None -> Printf.printf "Marginal contributions never decayed (graph too small).\n")
+  | None -> Ctx.printf "Marginal contributions never decayed (graph too small).\n")

@@ -37,7 +37,7 @@ let run ctx =
           Printf.sprintf "%.0f" s.Broker_sim.Simulator.revenue;
         ])
     [ 0.05; 0.1; 0.25; 0.5; 1.0 ];
-  Table.print t;
+  Ctx.table t;
   (* Latency stretch of broker paths vs free min-latency paths. *)
   let lat = Broker_routing.Latency.assign ~rng:(Ctx.rng ctx) topo in
   let n = Broker_graph.Graph.n g in
@@ -56,7 +56,7 @@ let run ctx =
   let arr = Array.of_list !stretches in
   if Array.length arr > 0 then begin
     let s = Broker_util.Stats.summarize arr in
-    Printf.printf
+    Ctx.printf
       "Latency stretch of dominated paths vs free min-latency paths over %d pairs:\nmean %.3f, median %.3f, p90 %.3f (1.0 = no inflation).\n"
       s.Broker_util.Stats.n s.Broker_util.Stats.mean s.Broker_util.Stats.p50
       s.Broker_util.Stats.p90

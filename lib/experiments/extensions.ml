@@ -31,8 +31,8 @@ let resilience ctx =
           Table.cell_pct tg.Broker_core.Resilience.connectivity;
         ])
     random targeted;
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Targeted loss of the hub brokers is far more damaging than random outages - the\ncontrol plane should replicate its highest-degree members first.\n"
 
 let traffic ctx =
@@ -58,8 +58,8 @@ let traffic ctx =
       Table.add_row t
         [ Table.cell_int k; Table.cell_pct pairs; Table.cell_pct traffic ])
     [ 100; 300; 1000 ];
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "High-demand (high-degree) endpoints are covered first, so the broker set serves\nan even larger share of bytes than of connections.\n"
 
 let betweenness ctx =
@@ -83,8 +83,8 @@ let betweenness ctx =
   row "DB (degree)" (Broker_core.Baselines.db g ~k);
   row "PRB (PageRank)" (Broker_core.Baselines.prb g ~k);
   row "MaxSG" (Array.sub order 0 (min k (Array.length order)));
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Betweenness behaves like the other centralities: it crowds the core and hits the\nsame marginal effect; coverage-aware greedy keeps winning.\n"
 
 let bounded ctx =
@@ -109,8 +109,8 @@ let bounded ctx =
   in
   row "MaxSG (radius 1)" maxsg;
   row "Bounded (radius 2)" bounded2;
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Radius-2 selection trades a little saturated coverage for wider geographic spread;\nEq.(4) feasibility (deviation vs the free distribution) is reported per row.\n"
 
 let churn ctx =
@@ -149,13 +149,13 @@ let churn ctx =
   Table.add_row t [ Printf.sprintf "Frozen set (+%d new ASes)" growth; Table.cell_int k; Table.cell_pct frozen ];
   Table.add_row t [ "Incremental top-up (+5% brokers)"; Table.cell_int (Array.length repaired); Table.cell_pct repaired_sat ];
   Table.add_row t [ "Reselect from scratch"; Table.cell_int (Array.length rescratch); Table.cell_pct rescratch_sat ];
-  Table.print t;
+  Ctx.table t;
   let stable =
     let old = Hashtbl.create k in
     Array.iter (fun b -> Hashtbl.replace old b ()) brokers;
     Array.fold_left (fun acc b -> if Hashtbl.mem old b then acc + 1 else acc) 0 rescratch
   in
-  Printf.printf
+  Ctx.printf
     "Reselection keeps %d of the %d original brokers; the cheap incremental top-up\nrecovers nearly all of the reselection connectivity without renegotiating contracts.\n"
     stable k
 
@@ -203,8 +203,8 @@ let exact_ratio ctx =
         "";
       ]
   done;
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Worst empirical ratios: greedy %.3f (bound %.3f), MaxSG %.3f, MCBG %.3f (bound %.3f for beta=4).\n"
     !worst_g
     (1.0 -. exp (-1.0))
@@ -218,7 +218,7 @@ let regions ctx =
   let n_regions = 8 in
   let regions = Broker_core.Regions.partition g ~k:n_regions in
   let sizes = Broker_core.Regions.region_sizes regions ~k:n_regions in
-  Printf.printf "BFS-derived regions (farthest-point seeds): sizes %s\n"
+  Ctx.printf "BFS-derived regions (farthest-point seeds): sizes %s\n"
     (String.concat ", " (Array.to_list (Array.map string_of_int sizes)));
   let k = Ctx.scale_count ctx 1000 in
   let order = Ctx.maxsg_order ctx in
@@ -245,6 +245,6 @@ let regions ctx =
   in
   row "MaxSG (global)" plain;
   row "Region-seeded MaxSG" seeded;
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Seeding every region before the global greedy closes the worst-region coverage gap\nat negligible total-coverage cost.\n"

@@ -15,23 +15,23 @@ let run ?(dot_path = "fig1_topology.dot") ctx =
   let ixp_edge =
     Array.fold_left (fun acc v -> if core.(v) <= 2 then acc + 1 else acc) 0 ixps
   in
-  Printf.printf "Vertices: %d  Edges: %d  Average degree: %.2f\n" (G.n g) (G.m g)
+  Ctx.printf "Vertices: %d  Edges: %d  Average degree: %.2f\n" (G.n g) (G.m g)
     (Broker_graph.Metrics.average_degree g);
-  Printf.printf "Power-law exponent (MLE, d >= 2): %.2f (scale-free range 1.5-3)\n"
+  Ctx.printf "Power-law exponent (MLE, d >= 2): %.2f (scale-free range 1.5-3)\n"
     (Broker_graph.Metrics.power_law_exponent g);
-  Printf.printf "Degree assortativity: %.3f (Internet AS graph is disassortative)\n"
+  Ctx.printf "Degree assortativity: %.3f (Internet AS graph is disassortative)\n"
     (Broker_graph.Metrics.degree_assortativity g);
-  Printf.printf "Mean clustering coefficient (sampled): %.3f\n"
+  Ctx.printf "Mean clustering coefficient (sampled): %.3f\n"
     (Broker_graph.Metrics.clustering_coefficient ~samples:1000 ~rng g);
-  Printf.printf "Graph degeneracy (max coreness): %d\n" degeneracy;
-  Printf.printf
+  Ctx.printf "Graph degeneracy (max coreness): %d\n" degeneracy;
+  Ctx.printf
     "IXPs in the deep core (coreness >= %d): %d / %d; IXPs at the edge (coreness <= 2): %d\n"
     deep ixp_core (Array.length ixps) ixp_edge;
   let est =
     Broker_core.Alpha_beta.estimate ~rng:(Ctx.rng ctx) ~sources:(min 64 (Ctx.sources ctx))
       g ~alpha:0.99
   in
-  Printf.printf "(alpha,beta)-graph estimate: (%.3f, %d) (paper: (0.99, 4))\n"
+  Ctx.printf "(alpha,beta)-graph estimate: (%.3f, %d) (paper: (0.99, 4))\n"
     est.Broker_core.Alpha_beta.alpha est.Broker_core.Alpha_beta.beta;
   let attrs v =
     if Broker_topo.Topology.is_ixp topo v then [ ("color", "red"); ("shape", "box") ]
@@ -39,4 +39,4 @@ let run ?(dot_path = "fig1_topology.dot") ctx =
   in
   let dot = Broker_graph.Dot.to_dot ~name:"as_topology" ~vertex_attrs:attrs ~max_vertices:800 g in
   Broker_graph.Dot.write_file ~path:dot_path dot;
-  Printf.printf "DOT sample (800 highest-degree nodes) written to %s\n" dot_path
+  Ctx.printf "DOT sample (800 highest-degree nodes) written to %s\n" dot_path

@@ -22,7 +22,7 @@ let run ctx =
     (fun (name, q) ->
       Table.add_row t [ name; Table.cell_int (int_of_float (Stats.quantile r.sizes q)) ])
     [ ("min", 0.0); ("p10", 0.1); ("p50", 0.5); ("p90", 0.9); ("max", 1.0) ];
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Mean SC alliance: %.0f nodes = %.1f%% of the network over %d runs (paper: ~40,000 nodes, >76%%).\n"
     s.Stats.mean (100.0 *. r.mean_fraction) r.runs

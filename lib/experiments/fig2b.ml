@@ -40,6 +40,6 @@ let run ctx =
          :: List.map (fun l -> Table.cell_pct (Conn.value_at r.curve l)) [ 2; 3; 4; 5; 6 ]
         @ [ Table.cell_pct r.curve.Conn.saturated ]))
     (compute ctx);
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Paper at ~1,000 brokers: approx 85.71%%, MaxSG within 0.5%% of approx, DB 72.53%%, IXPB <= 15.70%%, Tier1Only worse.\n"

@@ -40,11 +40,11 @@ let run ctx =
   let k_large = Ctx.scale_count ctx 1000 in
   let small = compute ctx ~base_k:k_small in
   let large = compute ctx ~base_k:k_large in
-  Printf.printf
+  Ctx.printf
     "corr(PageRank, delta saturated connectivity) as broker #%d: %+.3f (paper: 0.818)\n"
     (k_small + 1) small.correlation;
-  Printf.printf
+  Ctx.printf
     "corr(PageRank, delta saturated connectivity) as broker #%d: %+.3f (paper: 0.227)\n"
     (k_large + 1) large.correlation;
-  Printf.printf
+  Ctx.printf
     "The correlation collapses as the broker set grows: high-PageRank nodes stop being the right next pick.\n"

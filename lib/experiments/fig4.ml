@@ -56,6 +56,6 @@ let run ctx =
           Table.cell_pct r.covered_fraction;
         ])
     (compute ctx);
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Paper: DB crowds the core leaving the edge uncovered; MaxSG covers the outer ring too.\n"

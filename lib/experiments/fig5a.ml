@@ -15,13 +15,13 @@ let run ctx =
           Table.cell_pct s.Broker_core.Composition.fraction;
         ])
     shares;
-  Table.print t;
+  Ctx.table t;
   let quick_sources = min 48 (Ctx.sources ctx) in
   let bo =
     Broker_core.Dominating.broker_only_fraction ~rng:(Ctx.rng ctx)
       ~sources:quick_sources (Ctx.graph ctx) ~brokers
   in
-  Printf.printf
+  Ctx.printf
     "E2E connections served by the broker mesh alone: %.1f%% of all pairs = %.1f%% of served pairs (paper: >90%%).\n"
     (100.0 *. bo.Broker_core.Dominating.broker_only_pairs)
     (100.0 *. bo.Broker_core.Dominating.ratio)

@@ -49,6 +49,6 @@ let run ctx =
           Table.cell_pct r.connectivity;
         ])
     (compute ctx);
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Paper at p=30%%: 72.5%% with 1,000 brokers; 84.68%% with the full 3,540-alliance.\n"

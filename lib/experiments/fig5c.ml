@@ -9,7 +9,7 @@ let compute ctx =
   let source_set = Ctx.directional_sources ctx in
   let sat = Array.length order in
   let budgets =
-    List.sort_uniq compare
+    List.sort_uniq Int.compare
       [
         Ctx.scale_count ctx 100;
         Ctx.scale_count ctx 500;
@@ -50,6 +50,6 @@ let run ctx =
           Table.cell_pct r.bidirectional;
         ])
     (compute ctx);
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Paper: forcing existing business relationships sharply decreases connectivity at every size.\n"

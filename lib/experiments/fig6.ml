@@ -68,8 +68,8 @@ let run ctx =
     [ "Employee utility u_j"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.u_employee ];
   Table.add_row t
     [ "Broker utility per unit u_B"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.u_broker ];
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Theorems 5-6: both the bargaining problem and the Stackelberg game admit equilibria (existence verified numerically).\n";
   assert (r.bargain.Broker_econ.Bargain.u_employee > 0.0);
   assert (r.bargain.Broker_econ.Bargain.u_broker > 0.0)

@@ -64,4 +64,4 @@ let run ctx =
           | None -> "-");
         ])
     (compute ctx);
-  Table.print t
+  Ctx.table t

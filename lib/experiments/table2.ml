@@ -45,4 +45,4 @@ let run ctx =
           (match r.paper with Some p -> Table.cell_int p | None -> "-");
         ])
     (compute ctx);
-  Table.print t
+  Ctx.table t

@@ -49,5 +49,5 @@ let run ctx =
               [ 1; 2; 3; 4; 5; 6 ]
         @ [ Table.cell_pct r.curve.Conn.saturated ]))
     (compute ctx);
-  Table.print t;
-  Printf.printf "Paper: ASes-with-IXPs = 99.21%% at l=4 (a (0.99,4)-graph).\n"
+  Ctx.table t;
+  Ctx.printf "Paper: ASes-with-IXPs = 99.21%% at l=4 (a (0.99,4)-graph).\n"

@@ -40,7 +40,7 @@ let run ctx =
   in
   row (Printf.sprintf "%d-alliance" r.alliance_size) r.alliance;
   row "ASesWithIXPs (free)" r.free;
-  Table.print t;
-  Printf.printf
+  Ctx.table t;
+  Ctx.printf
     "Max inflation (free - alliance) over hop counts: %.2f%% (paper: curves almost overlap).\n"
     (100.0 *. r.max_inflation)

@@ -36,8 +36,8 @@ let run ctx =
         show r
       end)
     ranked;
-  Table.print t;
+  Ctx.table t;
   let ixp_ranks = Broker_core.Composition.first_ixp_ranks topo ~brokers in
   let firsts = List.filteri (fun i _ -> i < 5) ixp_ranks in
-  Printf.printf "First IXP selection ranks: %s (paper: 1, 4, 7, 9, ...).\n"
+  Ctx.printf "First IXP selection ranks: %s (paper: 1, 4, 7, 9, ...).\n"
     (String.concat ", " (List.map string_of_int firsts))

@@ -76,7 +76,7 @@ let top ?(samples = 256) ~rng g ~k =
   let idx = Array.init (Graph.n g) (fun i -> i) in
   Array.sort
     (fun a b ->
-      let cmp = compare c.(b) c.(a) in
-      if cmp <> 0 then cmp else compare a b)
+      let cmp = Float.compare c.(b) c.(a) in
+      if cmp <> 0 then cmp else Int.compare a b)
     idx;
   Array.sub idx 0 (min k (Array.length idx))

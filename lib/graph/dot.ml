@@ -4,7 +4,9 @@ let to_dot ?(name = "g") ?(vertex_attrs = fun _ -> []) ?(max_vertices = 5000) g 
     if n <= max_vertices then Array.make n true
     else begin
       let idx = Array.init n (fun i -> i) in
-      Array.sort (fun a b -> compare (Graph.degree g b) (Graph.degree g a)) idx;
+      Array.sort
+        (fun a b -> Int.compare (Graph.degree g b) (Graph.degree g a))
+        idx;
       let keep = Array.make n false in
       for i = 0 to max_vertices - 1 do
         keep.(idx.(i)) <- true

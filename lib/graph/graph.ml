@@ -37,7 +37,7 @@ let of_edges ~n edges =
   for u = 0 to n - 1 do
     let lo = off.(u) and hi = off.(u + 1) in
     let slice = Array.sub adj lo (hi - lo) in
-    Array.sort compare slice;
+    Array.sort Int.compare slice;
     new_off.(u) <- !write;
     let prev = ref (-1) in
     Array.iter

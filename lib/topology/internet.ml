@@ -207,7 +207,7 @@ let generate params =
         let u = R.float rng 1.0 in
         (u ** (1.0 /. w), v))
   in
-  Array.sort (fun (a, _) (b, _) -> compare b a) keys;
+  Array.sort (fun (a, _) (b, _) -> Float.compare b a) keys;
   let members = Array.init (min n_connected n_as) (fun i -> snd keys.(i)) in
   let ixp_weights =
     Array.init n_ixp (fun _ -> R.pareto rng ~alpha:1.1 ~x_min:1.0)

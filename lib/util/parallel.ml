@@ -29,12 +29,14 @@ let map_array ?domains f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
+    (* [f arr.(0)] seeds the output array and is evaluated exactly once,
+       on the calling domain; the workers then fill slots 1..n-1 (the
+       chunked range is shifted up by one). *)
     let out = Array.make n (f arr.(0)) in
-    (* arr.(0) is computed twice; acceptable for the pure f required. *)
     let _ =
-      chunked ?domains ~n
+      chunked ?domains ~n:(n - 1)
         ~worker:(fun ~lo ~hi ->
-          for i = lo to hi - 1 do
+          for i = lo + 1 to hi do
             out.(i) <- f arr.(i)
           done)
         ~merge:(fun () () -> ())

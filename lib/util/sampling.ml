@@ -14,7 +14,7 @@ let without_replacement rng ~n ~k =
       out.(!i) <- v;
       incr i)
     chosen;
-  Array.sort compare out;
+  Array.sort Int.compare out;
   out
 
 let reservoir rng ~k seq =

@@ -17,7 +17,7 @@ let quantile xs q =
   if Array.length xs = 0 then invalid_arg "Stats.quantile: empty array";
   if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q out of [0,1]";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   let pos = q *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor pos) in
@@ -49,7 +49,7 @@ let pearson xs ys =
 let ranks xs =
   let n = Array.length xs in
   let idx = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare xs.(a) xs.(b)) idx;
+  Array.sort (fun a b -> Float.compare xs.(a) xs.(b)) idx;
   let r = Array.make n 0.0 in
   let i = ref 0 in
   while !i < n do
@@ -86,7 +86,7 @@ let histogram ~bins xs =
 
 let cdf xs =
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
   List.init n (fun i -> (sorted.(i), float_of_int (i + 1) /. float_of_int n))
 

@@ -41,17 +41,23 @@ let render t =
   in
   measure t.headers;
   List.iter (function Row r -> measure r | Rule -> ()) lines;
-  (* A column is right-aligned when every body cell looks numeric. *)
+  (* A column is right-aligned when every body cell looks numeric. One
+     pass over the rows instead of List.nth per (row, column) pair, which
+     was quadratic in the column count. *)
+  let numeric = Array.make ncols true in
+  List.iter
+    (function
+      | Rule -> ()
+      | Row r ->
+          List.iteri
+            (fun i cell ->
+              if not (looks_numeric cell || cell = "") then
+                numeric.(i) <- false)
+            r)
+    lines;
   let aligns =
     Array.init ncols (fun i ->
-        let numeric =
-          List.for_all
-            (function
-              | Rule -> true
-              | Row r -> looks_numeric (List.nth r i) || List.nth r i = "")
-            lines
-        in
-        if numeric && lines <> [] then Right else Left)
+        if numeric.(i) && lines <> [] then Right else Left)
   in
   let buf = Buffer.create 256 in
   let emit_row row =
@@ -71,7 +77,7 @@ let render t =
   List.iter (function Row r -> emit_row r | Rule -> rule ()) lines;
   Buffer.contents buf
 
-let print t = print_string (render t)
+let print ?(ppf = Format.std_formatter) t = Fmt.pf ppf "%s@?" (render t)
 
 let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
 let cell_pct ?(decimals = 2) x = Printf.sprintf "%.*f%%" decimals (100.0 *. x)

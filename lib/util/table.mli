@@ -20,8 +20,8 @@ val add_rule : t -> unit
 val render : t -> string
 (** The formatted table, newline terminated. *)
 
-val print : t -> unit
-(** [render] to stdout. *)
+val print : ?ppf:Format.formatter -> t -> unit
+(** [render] to [ppf] (default {!Format.std_formatter}) and flush. *)
 
 val cell_float : ?decimals:int -> float -> string
 val cell_pct : ?decimals:int -> float -> string

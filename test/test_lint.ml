@@ -1,0 +1,156 @@
+(* Drives the brokerlint executable (tools/lint) over the fixture
+   snippets in tools/lint/fixtures/: each rule has one violating and one
+   clean fixture, plus a suppression-comment case; the violating ones
+   must fail with [file:line:col: [rule]] diagnostics and the clean ones
+   must pass silently. A final case lints the real lib/ tree, pinning
+   the "repo as shipped lints clean" acceptance criterion. *)
+
+let exe = "../tools/lint/brokerlint.exe"
+let fixture name = "../tools/lint/fixtures/" ^ name
+
+type result = { code : int; output : string }
+
+let run_lint args =
+  let cmd = Filename.quote_command exe args ^ " 2>&1" in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED code -> { code; output = Buffer.contents buf }
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+      Alcotest.fail "brokerlint killed by signal"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec probe i =
+    i + nn <= nh && (String.sub haystack i nn = needle || probe (i + 1))
+  in
+  nn = 0 || probe 0
+
+let check_contains output needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "output mentions %S" needle)
+    true (contains output needle)
+
+(* A violating fixture must exit 1 and name every expected
+   file:line / rule pair; a clean one must exit 0 with no output. *)
+let check_bad ~rule ~file ~lines r =
+  Alcotest.(check int) (file ^ " exits 1") 1 r.code;
+  check_contains r.output ("[" ^ rule ^ "]");
+  List.iter
+    (fun line -> check_contains r.output (Printf.sprintf "%s:%d:" file line))
+    lines
+
+let check_clean ~file r =
+  Alcotest.(check int) (file ^ " exits 0") 0 r.code;
+  Alcotest.(check string) (file ^ " is silent") "" r.output
+
+let test_rule ~rule ~bad ~bad_lines ~good () =
+  check_bad ~rule ~file:bad ~lines:bad_lines
+    (run_lint [ "--lib"; fixture bad ]);
+  check_clean ~file:good (run_lint [ "--lib"; fixture good ])
+
+let r1 =
+  test_rule ~rule:"no-poly-compare" ~bad:"r1_bad.ml" ~bad_lines:[ 4; 7 ]
+    ~good:"r1_good.ml"
+
+let r1_outside_lib () =
+  (* The sort-comparator half of R1 applies to non-library code too ... *)
+  let r = run_lint [ fixture "r1_bad.ml" ] in
+  Alcotest.(check int) "sort compare flagged outside lib" 1 r.code;
+  check_contains r.output "r1_bad.ml:4:";
+  (* ... but the bare-compare half is library-only: line 7's lambda only
+     uses compare applied to tuple components, not passed to the sort. *)
+  Alcotest.(check bool)
+    "bare compare not flagged outside lib" false
+    (contains r.output "r1_bad.ml:7:")
+
+let suppression () =
+  check_clean ~file:"r1_suppressed.ml"
+    (run_lint [ "--lib"; fixture "r1_suppressed.ml" ])
+
+let r2 =
+  test_rule ~rule:"determinism" ~bad:"r2_bad.ml" ~bad_lines:[ 4; 5 ]
+    ~good:"r2_good.ml"
+
+let r2_self_init_outside_lib () =
+  let r = run_lint [ fixture "r2_bad.ml" ] in
+  Alcotest.(check int) "self_init flagged outside lib" 1 r.code;
+  check_contains r.output "r2_bad.ml:4:";
+  (* Plain Random draws are only banned in library code. *)
+  Alcotest.(check bool)
+    "Random.int allowed outside lib" false
+    (contains r.output "r2_bad.ml:5:")
+
+let r3 () =
+  check_bad ~rule:"mli-complete" ~file:"r3_bad.ml" ~lines:[ 1 ]
+    (run_lint [ "--lib"; fixture "r3_bad.ml" ]);
+  check_clean ~file:"r3_good.ml" (run_lint [ "--lib"; fixture "r3_good.ml" ])
+
+let r4 =
+  test_rule ~rule:"domain-confinement" ~bad:"r4_bad.ml" ~bad_lines:[ 13 ]
+    ~good:"r4_good.ml"
+
+let r5 =
+  test_rule ~rule:"no-stdout-in-lib" ~bad:"r5_bad.ml" ~bad_lines:[ 5; 6; 8 ]
+    ~good:"r5_good.ml"
+
+let r6 =
+  test_rule ~rule:"no-list-nth" ~bad:"r6_bad.ml" ~bad_lines:[ 7; 15 ]
+    ~good:"r6_good.ml"
+
+let whole_directory () =
+  (* Directory mode aggregates every bad fixture and none of the clean
+     ones; diagnostics come out sorted by file for stable diffs. *)
+  let r = run_lint [ "--lib"; "../tools/lint/fixtures" ] in
+  Alcotest.(check int) "fixtures dir exits 1" 1 r.code;
+  List.iter
+    (fun f -> check_contains r.output (f ^ ":"))
+    [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml"; "r6_bad.ml" ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f ^ " not flagged") false
+        (contains r.output (f ^ ":")))
+    [ "r1_good.ml"; "r2_good.ml"; "r3_good.ml"; "r4_good.ml"; "r5_good.ml";
+      "r6_good.ml"; "r1_suppressed.ml" ]
+
+let repo_lib_clean () =
+  (* The repo as shipped lints clean; lib/ is the strictest subtree and
+     its sources are guaranteed present in the build dir (the suite links
+     all eight libraries). *)
+  let r = run_lint [ "../lib" ] in
+  Alcotest.(check string) "lib/ lint output" "" r.output;
+  Alcotest.(check int) "lib/ lints clean" 0 r.code
+
+let missing_path () =
+  let r = run_lint [ "../tools/lint/fixtures/enoent.ml" ] in
+  Alcotest.(check int) "missing path exits 2" 2 r.code
+
+let () =
+  Alcotest.run "brokerlint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 no-poly-compare" `Quick r1;
+          Alcotest.test_case "R1 scope outside lib" `Quick r1_outside_lib;
+          Alcotest.test_case "R2 determinism" `Quick r2;
+          Alcotest.test_case "R2 scope outside lib" `Quick
+            r2_self_init_outside_lib;
+          Alcotest.test_case "R3 mli-complete" `Quick r3;
+          Alcotest.test_case "R4 domain-confinement" `Quick r4;
+          Alcotest.test_case "R5 no-stdout-in-lib" `Quick r5;
+          Alcotest.test_case "R6 no-list-nth" `Quick r6;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "suppression comment" `Quick suppression;
+          Alcotest.test_case "directory mode" `Quick whole_directory;
+          Alcotest.test_case "repo lib/ lints clean" `Quick repo_lib_clean;
+          Alcotest.test_case "missing path" `Quick missing_path;
+        ] );
+    ]

@@ -1,0 +1,381 @@
+(* brokerlint — project-specific static analysis for the broker-set repo.
+
+   A small compiler-libs lint pass: every [.ml] under the scanned
+   directories is parsed with {!Pparse} and walked with {!Ast_iterator};
+   violations are reported as [file:line:col: [rule] message] on stdout
+   and the process exits non-zero if any were found.
+
+   The rules encode the invariants HACKING.md argues for — the paper's
+   headline connectivity numbers are only reproducible if every algorithm
+   is deterministic and every sort comparator is well-defined:
+
+   - R1 [no-poly-compare]: the polymorphic [compare] (or [=], [<], ...)
+     must not be passed to [Array.sort]/[List.sort] anywhere, and bare
+     [compare] must not appear at all in library code. Polymorphic
+     compares on floats/records are both slower in the O(n log n) hot
+     sorts and a trap once a type grows a field whose structural order is
+     meaningless (closures raise at runtime).
+   - R2 [determinism]: no [Random.self_init] anywhere; no [Stdlib.Random]
+     or [Unix.gettimeofday] in library code outside
+     [lib/util/xrandom.ml]. All stochastic code draws from the seeded
+     [Xrandom] streams.
+   - R3 [mli-complete]: every library [.ml] has a sibling [.mli] — the
+     interface files carry the documentation and keep internals private.
+   - R4 [domain-confinement]: [Domain.spawn] only inside
+     [lib/util/parallel.ml]; ad-hoc domains escape the deterministic
+     chunk-merge discipline (and its [REPRO_DOMAINS] override).
+   - R5 [no-stdout-in-lib]: [print_*]/[Printf.printf]/[Format.printf]/
+     [Fmt.pr]/[exit] are banned in library code — print on an explicit
+     formatter (or [Logs]) so output is redirectable and libraries never
+     terminate the process.
+   - R6 [no-list-nth]: [List.nth] and [( @ )] inside [for]/[while] loop
+     bodies are almost always accidentally-quadratic; index an array or
+     restructure.
+
+   Any finding is suppressible by putting [(* brokerlint: allow <rule> *)]
+   on the offending line. *)
+
+let scanned_dirs_default = [ "lib"; "bin"; "bench"; "examples" ]
+
+module Rule = struct
+  type t =
+    | No_poly_compare
+    | Determinism
+    | Mli_complete
+    | Domain_confinement
+    | No_stdout_in_lib
+    | No_list_nth
+
+  let name = function
+    | No_poly_compare -> "no-poly-compare"
+    | Determinism -> "determinism"
+    | Mli_complete -> "mli-complete"
+    | Domain_confinement -> "domain-confinement"
+    | No_stdout_in_lib -> "no-stdout-in-lib"
+    | No_list_nth -> "no-list-nth"
+
+  (* Total order for stable reports: file, then line, then rule id. *)
+  let id = function
+    | No_poly_compare -> 1
+    | Determinism -> 2
+    | Mli_complete -> 3
+    | Domain_confinement -> 4
+    | No_stdout_in_lib -> 5
+    | No_list_nth -> 6
+end
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  rule : Rule.t;
+  msg : string;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                                *)
+(* ------------------------------------------------------------------ *)
+
+let source_lines : (string, string array) Hashtbl.t = Hashtbl.create 64
+
+let load_lines file =
+  match Hashtbl.find_opt source_lines file with
+  | Some lines -> lines
+  | None ->
+      let lines =
+        match In_channel.with_open_bin file In_channel.input_all with
+        | contents -> Array.of_list (String.split_on_char '\n' contents)
+        | exception Sys_error _ -> [||]
+      in
+      Hashtbl.replace source_lines file lines;
+      lines
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec probe i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else probe (i + 1)
+  in
+  nn = 0 || probe 0
+
+let suppressed ~file ~line rule =
+  let lines = load_lines file in
+  line >= 1
+  && line <= Array.length lines
+  && contains_substring lines.(line - 1) ("brokerlint: allow " ^ Rule.name rule)
+
+(* ------------------------------------------------------------------ *)
+(* Violation accumulation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let violations : violation list ref = ref []
+
+let report ~file ~line ~col rule msg =
+  if not (suppressed ~file ~line rule) then
+    violations := { file; line; col; rule; msg } :: !violations
+
+let report_loc ~file (loc : Location.t) rule msg =
+  let p = loc.loc_start in
+  report ~file ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol) rule msg
+
+(* ------------------------------------------------------------------ *)
+(* Longident helpers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Flatten a dotted path, erasing an explicit [Stdlib.] prefix so that
+   [Stdlib.compare] and [compare] are the same identifier to the rules.
+   Functor applications cannot name the entities we ban. *)
+let path lid =
+  let rec flatten acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (t, s) -> flatten (s :: acc) t
+    | Longident.Lapply _ -> []
+  in
+  match flatten [] lid with "Stdlib" :: rest -> rest | p -> p
+
+let is_sort_function = function
+  | [ "Array"; ("sort" | "stable_sort" | "fast_sort") ]
+  | [ "List"; ("sort" | "stable_sort" | "fast_sort" | "sort_uniq") ] ->
+      true
+  | _ -> false
+
+let is_poly_comparator = function
+  | [ ("compare" | "=" | "<" | ">" | "<=" | ">=" | "<>") ] -> true
+  | _ -> false
+
+let is_stdout_printer = function
+  | [
+      ( "print_string" | "print_endline" | "print_newline" | "print_char"
+      | "print_bytes" | "print_int" | "print_float" | "exit" );
+    ] ->
+      true
+  | [ "Printf"; "printf" ] | [ "Fmt"; "pr" ] -> true
+  | [ "Format"; f ] ->
+      f = "printf" || String.length f >= 6 && String.sub f 0 6 = "print_"
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The AST walk                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type file_ctx = {
+  file : string;  (** path as reported in diagnostics *)
+  in_lib : bool;  (** library-code rules (R1-bare, R2, R5) apply *)
+  rng_exempt : bool;  (** this file IS the sanctioned RNG module *)
+  spawn_exempt : bool;  (** this file IS the sanctioned parallel runner *)
+}
+
+let check_ident ctx ~loop_depth p loc =
+  let report rule msg = report_loc ~file:ctx.file loc rule msg in
+  match p with
+  | [ "compare" ] when ctx.in_lib ->
+      report Rule.No_poly_compare
+        "bare polymorphic compare in library code; use Int.compare, \
+         Float.compare, String.compare or an explicit comparator"
+  | [ "Random"; "self_init" ] ->
+      report Rule.Determinism
+        "Random.self_init makes runs irreproducible; seed Xrandom.create \
+         explicitly"
+  | "Random" :: _ when ctx.in_lib && not ctx.rng_exempt ->
+      report Rule.Determinism
+        "Stdlib.Random in library code; draw from Broker_util.Xrandom streams"
+  | [ "Unix"; "gettimeofday" ] when ctx.in_lib ->
+      report Rule.Determinism
+        "wall-clock in library code breaks reproducibility; thread an \
+         explicit seed or clock"
+  | [ "Domain"; "spawn" ] when not ctx.spawn_exempt ->
+      report Rule.Domain_confinement
+        "Domain.spawn outside lib/util/parallel.ml; use Parallel.chunked / \
+         Parallel.map_array"
+  | p when ctx.in_lib && is_stdout_printer p ->
+      report Rule.No_stdout_in_lib
+        (Printf.sprintf
+           "%s in library code; print via Fmt on an explicit formatter (or \
+            Logs)"
+           (String.concat "." p))
+  | [ "List"; "nth" ] when loop_depth > 0 ->
+      report Rule.No_list_nth
+        "List.nth inside a loop body is quadratic; index an array instead"
+  | [ "@" ] when loop_depth > 0 ->
+      report Rule.No_list_nth
+        "list append inside a loop body is quadratic; accumulate and reverse \
+         once"
+  | _ -> ()
+
+let make_iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let loop_depth = ref 0 in
+  let expr iter (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = f; _ }; _ }, args)
+      when is_sort_function (path f) ->
+        List.iter
+          (fun ((_, arg) : Asttypes.arg_label * Parsetree.expression) ->
+            match arg.pexp_desc with
+            | Pexp_ident { txt; _ } when is_poly_comparator (path txt) ->
+                report_loc ~file:ctx.file arg.pexp_loc Rule.No_poly_compare
+                  (Printf.sprintf
+                     "polymorphic comparator passed to %s; use a monomorphic \
+                      comparator (Int.compare, Float.compare, ...)"
+                     (String.concat "." (path f)))
+            | _ -> ())
+          args
+    | Pexp_ident { txt; _ } ->
+        check_ident ctx ~loop_depth:!loop_depth (path txt) e.pexp_loc
+    | _ -> ());
+    match e.pexp_desc with
+    | Pexp_for (pat, lo, hi, _, body) ->
+        (* Bounds are evaluated once, outside the loop. *)
+        iter.Ast_iterator.pat iter pat;
+        iter.Ast_iterator.expr iter lo;
+        iter.Ast_iterator.expr iter hi;
+        incr loop_depth;
+        iter.Ast_iterator.expr iter body;
+        decr loop_depth
+    | Pexp_while (cond, body) ->
+        (* The condition re-runs every iteration: it is loop body too. *)
+        incr loop_depth;
+        iter.Ast_iterator.expr iter cond;
+        iter.Ast_iterator.expr iter body;
+        decr loop_depth
+    | _ -> super.Ast_iterator.expr iter e
+  in
+  { super with Ast_iterator.expr }
+
+(* ------------------------------------------------------------------ *)
+(* File discovery and per-file scan                                    *)
+(* ------------------------------------------------------------------ *)
+
+let normalize f =
+  let f = if String.length f > 2 && String.sub f 0 2 = "./" then String.sub f 2 (String.length f - 2) else f in
+  String.concat "/" (String.split_on_char Filename.dir_sep.[0] f)
+
+let is_lib_path f =
+  let f = normalize f in
+  (String.length f >= 4 && String.sub f 0 4 = "lib/") || contains_substring f "/lib/"
+
+let has_suffix s suf =
+  let ns = String.length s and nf = String.length suf in
+  ns >= nf && String.sub s (ns - nf) nf = suf
+
+let rec collect_ml acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry <> "" && entry.[0] = '.' then acc
+           else collect_ml acc (Filename.concat path entry))
+         acc
+  else if has_suffix path ".ml" then path :: acc
+  else acc
+
+let parse_implementation file =
+  (* Pparse rather than Parse: it honours any -pp/-ppx configuration and
+     produces locations already anchored to [file]. *)
+  Pparse.parse_implementation ~tool_name:"brokerlint" file
+
+let scan_file ~force_lib file =
+  let file = normalize file in
+  let in_lib = force_lib || is_lib_path file in
+  let ctx =
+    {
+      file;
+      in_lib;
+      rng_exempt = has_suffix file "lib/util/xrandom.ml";
+      spawn_exempt = has_suffix file "lib/util/parallel.ml";
+    }
+  in
+  if in_lib && not (Sys.file_exists (file ^ "i")) then
+    report ~file ~line:1 ~col:0 Rule.Mli_complete
+      (Printf.sprintf "library module %s has no interface file %si"
+         (Filename.basename file)
+         (Filename.basename file));
+  let ast = parse_implementation file in
+  let iter = make_iterator ctx in
+  iter.Ast_iterator.structure iter ast
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let usage =
+  "brokerlint [--lib] [path ...]\n\
+   Lint .ml files under the given files/directories (default: lib bin bench \
+   examples).\n\
+  \  --lib   treat every scanned file as library code (fixture/test mode)\n\
+   Exit codes: 0 clean, 1 violations found, 2 usage or parse error."
+
+let () =
+  let force_lib = ref false in
+  let paths = ref [] in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--lib" -> force_lib := true
+        | "--help" | "-help" ->
+            print_endline usage;
+            exit 0
+        | _ when String.length arg > 0 && arg.[0] = '-' ->
+            prerr_endline ("brokerlint: unknown option " ^ arg);
+            prerr_endline usage;
+            exit 2
+        | _ -> paths := arg :: !paths)
+    Sys.argv;
+  let paths =
+    match List.rev !paths with [] -> scanned_dirs_default | ps -> ps
+  in
+  let files =
+    List.concat_map
+      (fun p ->
+        if not (Sys.file_exists p) then begin
+          prerr_endline ("brokerlint: no such file or directory: " ^ p);
+          exit 2
+        end;
+        List.rev (collect_ml [] p))
+      paths
+  in
+  (try List.iter (scan_file ~force_lib:!force_lib) files
+   with exn ->
+     Location.report_exception Format.err_formatter exn;
+     exit 2);
+  let sorted =
+    List.sort_uniq
+      (fun (a : violation) (b : violation) ->
+        let c = String.compare a.file b.file in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.line b.line in
+          if c <> 0 then c
+          else
+            let c = Int.compare (Rule.id a.rule) (Rule.id b.rule) in
+            if c <> 0 then c else Int.compare a.col b.col)
+      !violations
+  in
+  (* Several AST nodes can hit the same rule on the same line (e.g. a
+     sort call and the bare ident inside it); one diagnostic is enough. *)
+  let deduped =
+    List.fold_left
+      (fun (acc : violation list) (v : violation) ->
+        match acc with
+        | prev :: _
+          when prev.file = v.file && prev.line = v.line && prev.rule = v.rule
+          ->
+            acc
+        | _ -> v :: acc)
+      [] sorted
+    |> List.rev
+  in
+  List.iter
+    (fun (v : violation) ->
+      Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col
+        (Rule.name v.rule) v.msg)
+    deduped;
+  match deduped with
+  | [] -> ()
+  | vs ->
+      Printf.eprintf "brokerlint: %d violation(s) in %d file(s)\n"
+        (List.length vs)
+        (List.length (List.sort_uniq String.compare (List.map (fun (v : violation) -> v.file) vs)));
+      exit 1

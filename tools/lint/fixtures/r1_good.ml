@@ -1,0 +1,6 @@
+(* Fixture (brokerlint: allow mli-complete): R1 clean — monomorphic comparators everywhere. *)
+
+let sort_ints (a : int array) = Array.sort Int.compare a
+
+let sort_pairs_desc (a : (float * int) array) =
+  Array.sort (fun (x, _) (y, _) -> Float.compare y x) a

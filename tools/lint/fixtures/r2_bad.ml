@@ -1,0 +1,5 @@
+(* Fixture (brokerlint: allow mli-complete): R2 determinism — self-seeded global RNG, plus Stdlib.Random
+   draws in library code. *)
+
+let () = Random.self_init ()
+let roll () = Random.int 6

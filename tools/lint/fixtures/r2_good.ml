@@ -1,0 +1,4 @@
+(* Fixture (brokerlint: allow mli-complete): R2 clean — randomness comes from an explicitly seeded stream
+   threaded by the caller. *)
+
+let roll rng = Xrandom.int rng 6

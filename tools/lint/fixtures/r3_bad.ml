@@ -1,0 +1,3 @@
+(* Fixture: R3 mli-complete — this library module has no sibling .mli. *)
+
+let answer = 42

@@ -1,0 +1,3 @@
+(* Fixture: R3 clean — r3_good.mli sits next to this file. *)
+
+let answer = 42

@@ -1,0 +1,3 @@
+(** Interface for the R3 clean fixture. *)
+
+val answer : int

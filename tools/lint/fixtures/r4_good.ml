@@ -1,0 +1,3 @@
+(* Fixture (brokerlint: allow mli-complete): R4 clean — parallelism goes through the sanctioned runner. *)
+
+let doubled arr = Parallel.map_array (fun x -> 2 * x) arr

@@ -1,0 +1,4 @@
+(* Fixture (brokerlint: allow mli-complete): R5 clean — an explicit formatter threaded by the caller. *)
+
+let report ppf x = Fmt.pf ppf "x = %d@." x
+let fail_soft () = invalid_arg "fail_soft"
