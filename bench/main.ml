@@ -68,6 +68,51 @@ let kernel_tests () =
                 ~is_broker:(Broker_core.Connectivity.of_brokers ~n brokers))));
   ]
 
+let chaos_tests () =
+  let open Bechamel in
+  let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:13 () in
+  let topo = E.Ctx.topo ctx in
+  let g = E.Ctx.graph ctx in
+  let order = E.Ctx.maxsg_order ctx in
+  let brokers = Array.sub order 0 (min 24 (Array.length order)) in
+  let model = Broker_core.Traffic.gravity ~rng:(E.Ctx.rng ctx) g in
+  let sessions =
+    Broker_sim.Workload.generate ~rng:(E.Ctx.rng ctx) model ~n_sessions:2000
+      Broker_sim.Workload.default_params
+  in
+  let horizon =
+    (if Array.length sessions = 0 then 0.0
+     else sessions.(Array.length sessions - 1).Broker_sim.Workload.arrival)
+    +. 20.0
+  in
+  let scenario =
+    Broker_sim.Faults.Independent { mtbf = horizon /. 6.0; mttr = 15.0 }
+  in
+  let gen () =
+    Broker_sim.Faults.generate
+      ~rng:(Broker_util.Xrandom.create 17)
+      topo ~brokers ~horizon scenario
+  in
+  let faults = gen () in
+  let config = Broker_sim.Simulator.degree_capacity g ~factor:0.25 in
+  let chaos_run ~failover () =
+    let chaos =
+      { (Broker_sim.Simulator.default_chaos faults) with
+        Broker_sim.Simulator.failover }
+    in
+    ignore (Broker_sim.Simulator.run ~chaos topo ~brokers ~sessions config)
+  in
+  [
+    Test.make ~name:"faults_generate" (Staged.stage (fun () -> ignore (gen ())));
+    Test.make ~name:"chaos_run_failover_on"
+      (Staged.stage (chaos_run ~failover:true));
+    Test.make ~name:"chaos_run_failover_off"
+      (Staged.stage (chaos_run ~failover:false));
+    Test.make ~name:"plain_run_no_chaos"
+      (Staged.stage (fun () ->
+           ignore (Broker_sim.Simulator.run topo ~brokers ~sessions config)));
+  ]
+
 let run_timings () =
   let open Bechamel in
   let benchmark name tests =
@@ -90,7 +135,8 @@ let run_timings () =
       (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
   in
   benchmark "tables_and_figures" (experiment_tests ());
-  benchmark "kernels" (kernel_tests ())
+  benchmark "kernels" (kernel_tests ());
+  benchmark "chaos" (chaos_tests ())
 
 let () =
   (* REPRO_LOG=info|debug enables library progress logging on stderr. *)

@@ -176,7 +176,8 @@ let export_dot_cmd =
     Term.(const export_dot $ topo_arg $ out $ mv)
 
 (* simulate *)
-let simulate path brokers_path n_sessions capacity_factor seed =
+let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
+    mttr scenario no_failover retries =
   match load path with
   | Error msg ->
       prerr_endline msg;
@@ -191,7 +192,36 @@ let simulate path brokers_path n_sessions capacity_factor seed =
           Broker_sim.Workload.default_params
       in
       let config = Broker_sim.Simulator.degree_capacity g ~factor:capacity_factor in
-      let s = Broker_sim.Simulator.run topo ~brokers ~sessions config in
+      let chaos =
+        if not chaos_on then None
+        else
+          let horizon =
+            (if Array.length sessions = 0 then 0.0
+             else sessions.(Array.length sessions - 1).Broker_sim.Workload.arrival)
+            +. 20.0
+          in
+          let scen =
+            match scenario with
+            | "independent" -> Broker_sim.Faults.Independent { mtbf; mttr }
+            | "degree" -> Broker_sim.Faults.Degree_targeted { mtbf; mttr; bias = 1.0 }
+            | "ixp" -> Broker_sim.Faults.Ixp_outage { mtbf; mttr }
+            | _ -> assert false
+          in
+          let faults =
+            Broker_sim.Faults.generate
+              ~rng:(Broker_util.Xrandom.create (seed + 1))
+              topo ~brokers ~horizon scen
+          in
+          Some
+            {
+              (Broker_sim.Simulator.default_chaos faults) with
+              Broker_sim.Simulator.failover = not no_failover;
+              retry =
+                { Broker_sim.Simulator.default_retry with max_attempts = retries };
+              chaos_seed = seed;
+            }
+      in
+      let s = Broker_sim.Simulator.run ?chaos topo ~brokers ~sessions config in
       Printf.printf "offered             %d\n" s.Broker_sim.Simulator.offered;
       Printf.printf "admitted            %d (%.2f%%)\n" s.Broker_sim.Simulator.admitted
         (100.0 *. s.Broker_sim.Simulator.admission_rate);
@@ -202,7 +232,22 @@ let simulate path brokers_path n_sessions capacity_factor seed =
         (100.0 *. s.Broker_sim.Simulator.employee_hop_fraction);
       Printf.printf "mean utilization    %.2f%%\n"
         (100.0 *. s.Broker_sim.Simulator.mean_broker_utilization);
-      Printf.printf "net revenue         %.1f\n" s.Broker_sim.Simulator.revenue
+      Printf.printf "net revenue         %.1f\n" s.Broker_sim.Simulator.revenue;
+      if chaos_on then begin
+        Printf.printf "failed over         %d\n" s.Broker_sim.Simulator.failed_over;
+        Printf.printf "dropped mid-flight  %d\n"
+          s.Broker_sim.Simulator.dropped_midflight;
+        Printf.printf "retried+admitted    %d\n"
+          s.Broker_sim.Simulator.retried_admitted;
+        Printf.printf "delivered rate      %.2f%%\n"
+          (100.0 *. Broker_sim.Simulator.delivered_rate s);
+        Printf.printf "broker downtime     %.1f\n"
+          s.Broker_sim.Simulator.broker_downtime;
+        Printf.printf "revenue lost        %.1f\n"
+          s.Broker_sim.Simulator.revenue_lost;
+        Printf.printf "availability        %.2f%%\n"
+          (100.0 *. s.Broker_sim.Simulator.availability)
+      end
 
 let simulate_cmd =
   let brokers =
@@ -214,9 +259,34 @@ let simulate_cmd =
   let factor =
     Arg.(value & opt float 0.2 & info [ "capacity-factor" ] ~doc:"Broker capacity per unit degree.")
   in
+  let chaos =
+    Arg.(value & flag & info [ "chaos" ] ~doc:"Inject broker crash/recover faults.")
+  in
+  let mtbf =
+    Arg.(value & opt float 300.0 & info [ "mtbf" ] ~doc:"Mean time between broker failures.")
+  in
+  let mttr =
+    Arg.(value & opt float 20.0 & info [ "mttr" ] ~doc:"Mean time to recover.")
+  in
+  let scenario =
+    let alts = [ "independent"; "degree"; "ixp" ] in
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) alts)) "independent"
+      & info [ "fault-scenario" ]
+          ~doc:"Fault scenario: independent, degree (hub-targeted), ixp (correlated).")
+  in
+  let no_failover =
+    Arg.(value & flag & info [ "no-failover" ] ~doc:"Drop in-flight sessions of a crashed broker instead of rerouting.")
+  in
+  let retries =
+    Arg.(value & opt int 3 & info [ "retries" ] ~doc:"Retry budget for blocked arrivals (chaos mode).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Flow-level brokerage simulation with admission control")
-    Term.(const simulate $ topo_arg $ brokers $ sessions $ factor $ seed_arg)
+    Term.(
+      const simulate $ topo_arg $ brokers $ sessions $ factor $ seed_arg
+      $ chaos $ mtbf $ mttr $ scenario $ no_failover $ retries)
 
 (* resilience *)
 let resilience path brokers_path sources seed =

@@ -27,6 +27,7 @@ let experiments =
     { id = "ext_bounded"; description = "radius-bounded selection"; run = Extensions.bounded };
     { id = "ext_churn"; description = "growth & broker maintenance"; run = Extensions.churn };
     { id = "ext_sim"; description = "flow-level brokerage simulation"; run = Ext_sim.run };
+    { id = "ext_chaos"; description = "fault injection, failover & availability"; run = Ext_chaos.run };
     { id = "ext_regions"; description = "region-aware selection fairness"; run = Extensions.regions };
   ]
 

@@ -71,6 +71,10 @@ let pop t =
       t.times.(0) <- t.times.(t.size);
       t.seqs.(0) <- t.seqs.(t.size);
       t.data.(0) <- t.data.(t.size);
+      (* Alias the vacated slot to the new root so it never retains the
+         payload that just moved down: a fully drained queue would otherwise
+         keep every popped element reachable through the backing array. *)
+      t.data.(t.size) <- t.data.(0);
       sift_down t 0
     end;
     Some res
@@ -79,3 +83,10 @@ let pop t =
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 let size t = t.size
 let is_empty t = t.size = 0
+
+let clear t =
+  t.times <- [||];
+  t.seqs <- [||];
+  t.data <- [||];
+  t.size <- 0;
+  t.next_seq <- 0

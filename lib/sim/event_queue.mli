@@ -11,3 +11,9 @@ val pop : 'a t -> (float * 'a) option
 val peek_time : 'a t -> float option
 val size : 'a t -> int
 val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Empty the queue and release the backing storage (so large drained
+    queues do not pin their peak capacity — or any popped payload — in
+    memory). The queue remains usable; the insertion-sequence counter
+    restarts. *)

@@ -1,4 +1,5 @@
 module G = Broker_graph.Graph
+module X = Broker_util.Xrandom
 
 type config = {
   capacity_of : int -> float;
@@ -16,25 +17,105 @@ let degree_capacity g ~factor =
     employee_cost = 0.2;
   }
 
+type retry_policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  jitter : float;
+}
+
+let no_retry = { max_attempts = 0; base_delay = 1.0; multiplier = 2.0; jitter = 0.0 }
+let default_retry = { max_attempts = 3; base_delay = 1.0; multiplier = 2.0; jitter = 0.5 }
+
+type breaker_policy = { high_water : float; trip_after : float; cooldown : float }
+
+let default_breaker = { high_water = 0.9; trip_after = 5.0; cooldown = 25.0 }
+
+type chaos = {
+  faults : Faults.event array;
+  failover : bool;
+  retry : retry_policy;
+  breaker : breaker_policy option;
+  chaos_seed : int;
+}
+
+let default_chaos faults =
+  { faults; failover = true; retry = default_retry; breaker = None; chaos_seed = 97 }
+
 type stats = {
   offered : int;
   admitted : int;
   rejected_no_path : int;
   rejected_capacity : int;
+  rejected_shed : int;
   admission_rate : float;
   mean_hops : float;
   employee_hop_fraction : float;
   peak_in_flight : int;
   mean_broker_utilization : float;
   revenue : float;
+  failed_over : int;
+  dropped_midflight : int;
+  retried_admitted : int;
+  broker_downtime : float;
+  revenue_lost : float;
+  availability : float;
 }
 
-type departure = { path_brokers : int array; demand : float }
+(* An admitted session's live reservation. [path_brokers] is mutated on
+   failover; [active] flips off at departure or mid-flight drop so a stale
+   departure event is a no-op. *)
+type live = {
+  id : int;
+  src : int;
+  dst : int;
+  demand : float;
+  depart : float;
+  rev_rate : float;  (* net revenue per unit time, for drop refunds *)
+  mutable path_brokers : int array;
+  mutable active : bool;
+}
 
-let run topo ~brokers ~sessions config =
+type ev =
+  | Depart of live
+  | Fault of Faults.kind * int
+  | Retry of Workload.session * int  (* next attempt number *)
+
+type block_reason = No_path | Capacity | Shed
+
+let validate ~n ~brokers config =
+  if Float.is_nan config.price || config.price < 0.0 then
+    invalid_arg "Simulator.run: price must be >= 0";
+  if Float.is_nan config.employee_cost || config.employee_cost < 0.0 then
+    invalid_arg "Simulator.run: employee_cost must be >= 0";
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= n then invalid_arg "Simulator.run: broker id out of range";
+      if not (config.capacity_of b >= 0.0) then
+        invalid_arg "Simulator.run: capacity_of must be >= 0")
+    brokers
+
+let run ?chaos topo ~brokers ~sessions config =
   let g = topo.Broker_topo.Topology.graph in
   let n = G.n g in
+  validate ~n ~brokers config;
   let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  let has_chaos = Option.is_some chaos in
+  let failover_on, retry, breaker, fault_events, chaos_seed =
+    match chaos with
+    | None -> (false, no_retry, None, [||], 0)
+    | Some c -> (c.failover, c.retry, c.breaker, c.faults, c.chaos_seed)
+  in
+  let jitter_rng = X.create (0x5EED lxor chaos_seed) in
+  (* Broker liveness: a down-counter per vertex (correlated scenarios can
+     crash an already-down broker); a down broker stops being a broker — it
+     neither dominates edges nor carries reservations — but keeps forwarding
+     as a plain AS, mirroring Broker_core.Resilience. *)
+  let down = Array.make n 0 in
+  let down_since = Array.make n 0.0 in
+  let total_down = ref 0 in
+  let downtime = ref 0.0 in
+  let is_broker_live v = is_broker v && down.(v) = 0 in
   (* Per-broker capacity accounting with lazy time-integrated usage. *)
   let used = Hashtbl.create 1024 in
   let area = Hashtbl.create 1024 in
@@ -45,44 +126,288 @@ let run topo ~brokers ~sessions config =
     Hashtbl.replace area b (get area b +. (get used b *. (t -. lu)));
     Hashtbl.replace last_change b t
   in
+  (* Admission circuit breaker: track how long a broker's utilization has
+     been continuously at or above the high-water mark. *)
+  let above_since = Array.make (if Option.is_none breaker then 0 else n) nan in
+  let tripped_until =
+    Array.make (if Option.is_none breaker then 0 else n) neg_infinity
+  in
+  let update_water b t =
+    match breaker with
+    | None -> ()
+    | Some bp ->
+        let cap = config.capacity_of b in
+        if cap > 0.0 then
+          if get used b /. cap >= bp.high_water then begin
+            if Float.is_nan above_since.(b) then above_since.(b) <- t
+          end
+          else above_since.(b) <- nan
+  in
   let adjust b t delta =
     touch b t;
-    Hashtbl.replace used b (get used b +. delta)
+    Hashtbl.replace used b (get used b +. delta);
+    update_water b t
   in
-  (* Hop-shortest dominated path per distinct pair, cached. *)
+  let shedding b t =
+    match breaker with
+    | None -> false
+    | Some bp ->
+        if t < tripped_until.(b) then true
+        else if
+          (not (Float.is_nan above_since.(b)))
+          && t -. above_since.(b) >= bp.trip_after
+        then begin
+          tripped_until.(b) <- t +. bp.cooldown;
+          (* A fresh sustained excursion is needed to re-trip after cooldown. *)
+          above_since.(b) <- nan;
+          true
+        end
+        else false
+  in
+  (* Hop-shortest dominated path per distinct pair, cached under the current
+     liveness. Invalidation is per path key: a crash of broker b evicts
+     exactly the keys whose cached path rides b (reverse index); a recovery
+     evicts the keys computed while any broker was down (they may be
+     suboptimal or spuriously None). Keys computed with every broker up and
+     not touching a crashed broker stay valid for the whole run. *)
   let path_cache : (int * int, int array option) Hashtbl.t = Hashtbl.create 1024 in
+  let cache_by_broker : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
+  let degraded_keys : (int * int) list ref = ref [] in
+  let register_key key path =
+    Array.iter
+      (fun v ->
+        if is_broker v then
+          match Hashtbl.find_opt cache_by_broker v with
+          | Some l -> l := key :: !l
+          | None -> Hashtbl.replace cache_by_broker v (ref [ key ]))
+      path
+  in
   let path_for src dst =
-    match Hashtbl.find_opt path_cache (src, dst) with
+    let key = (src, dst) in
+    match Hashtbl.find_opt path_cache key with
     | Some p -> p
     | None ->
         let p =
-          match Broker_core.Dominating.find_dominated_path g ~is_broker src dst with
+          match
+            Broker_core.Dominating.find_dominated_path g
+              ~is_broker:is_broker_live src dst
+          with
           | [] -> None
           | path -> Some (Array.of_list path)
         in
-        Hashtbl.replace path_cache (src, dst) p;
+        Hashtbl.replace path_cache key p;
+        if has_chaos then begin
+          (match p with Some path -> register_key key path | None -> ());
+          if !total_down > 0 then degraded_keys := key :: !degraded_keys
+        end;
         p
   in
-  let departures : departure Event_queue.t = Event_queue.create () in
+  let invalidate_broker b =
+    match Hashtbl.find_opt cache_by_broker b with
+    | Some keys ->
+        List.iter (Hashtbl.remove path_cache) !keys;
+        Hashtbl.remove cache_by_broker b
+    | None -> ()
+  in
+  let flush_degraded () =
+    List.iter (Hashtbl.remove path_cache) !degraded_keys;
+    degraded_keys := []
+  in
+  let events : ev Event_queue.t = Event_queue.create () in
+  (* Fault events enter the queue up front: at equal times they precede the
+     departures/retries scheduled later (FIFO tie-break), which is the
+     pessimistic order — a failure beats a same-instant departure. Events
+     for vertices outside the broker set are ignored. *)
+  Array.iter
+    (fun (e : Faults.event) ->
+      if is_broker e.Faults.broker then
+        Event_queue.add events ~time:e.Faults.time
+          (Fault (e.Faults.kind, e.Faults.broker)))
+    fault_events;
+  let in_flight_tbl : (int, live) Hashtbl.t = Hashtbl.create 256 in
   let offered = ref 0 in
   let admitted = ref 0 in
   let rejected_no_path = ref 0 in
   let rejected_capacity = ref 0 in
+  let rejected_shed = ref 0 in
   let hops_total = ref 0 in
   let employee_hops_total = ref 0 in
   let in_flight = ref 0 in
   let peak_in_flight = ref 0 in
   let revenue = ref 0.0 in
+  let failed_over = ref 0 in
+  let dropped_midflight = ref 0 in
+  let retried_admitted = ref 0 in
+  let revenue_lost = ref 0.0 in
   let last_arrival = ref neg_infinity in
-  let process_departures_until t =
+  (* Single-pass broker filter over a path (no list round-trip). *)
+  let filter_live_brokers path =
+    let count = ref 0 in
+    Array.iter (fun v -> if is_broker_live v then incr count) path;
+    let out = Array.make !count 0 in
+    let j = ref 0 in
+    Array.iter
+      (fun v ->
+        if is_broker_live v then begin
+          out.(!j) <- v;
+          incr j
+        end)
+      path;
+    out
+  in
+  let fits path_brokers demand =
+    Array.for_all
+      (fun b -> get used b +. demand <= config.capacity_of b +. 1e-9)
+      path_brokers
+  in
+  let blocked (s : Workload.session) t ~attempt ~reason =
+    let retryable =
+      has_chaos
+      && attempt < retry.max_attempts
+      && (match reason with
+         (* A structural no-path can never be retried away; one caused by an
+            outage can. *)
+         | No_path -> !total_down > 0
+         | Capacity | Shed -> true)
+    in
+    if retryable then begin
+      let jitter = 1.0 +. (retry.jitter *. X.float jitter_rng 1.0) in
+      let delay =
+        retry.base_delay *. (retry.multiplier ** float_of_int attempt) *. jitter
+      in
+      Event_queue.add events ~time:(t +. delay) (Retry (s, attempt + 1))
+    end
+    else
+      match reason with
+      | No_path -> incr rejected_no_path
+      | Capacity -> incr rejected_capacity
+      | Shed -> incr rejected_shed
+  in
+  let admit_session (s : Workload.session) t ~attempt =
+    match path_for s.Workload.src s.Workload.dst with
+    | None -> blocked s t ~attempt ~reason:No_path
+    | Some path ->
+        let path_brokers = filter_live_brokers path in
+        if has_chaos && Array.exists (fun b -> shedding b t) path_brokers then
+          blocked s t ~attempt ~reason:Shed
+        else if not (fits path_brokers s.Workload.demand) then
+          blocked s t ~attempt ~reason:Capacity
+        else begin
+          incr admitted;
+          if attempt > 0 then incr retried_admitted;
+          incr in_flight;
+          if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
+          Array.iter (fun b -> adjust b t s.Workload.demand) path_brokers;
+          let hops = Array.length path - 1 in
+          hops_total := !hops_total + hops;
+          (* Employees: intermediate non-(live-)broker vertices. *)
+          let employees = ref 0 in
+          for i = 1 to Array.length path - 2 do
+            if not (is_broker_live path.(i)) then incr employees
+          done;
+          employee_hops_total := !employee_hops_total + (2 * !employees);
+          let dt = s.Workload.duration *. s.Workload.demand in
+          let net =
+            (2.0 *. config.price *. dt)
+            -. (config.employee_cost *. float_of_int (2 * !employees) *. dt)
+          in
+          revenue := !revenue +. net;
+          let l =
+            {
+              id = s.Workload.id;
+              src = s.Workload.src;
+              dst = s.Workload.dst;
+              demand = s.Workload.demand;
+              depart = t +. s.Workload.duration;
+              rev_rate =
+                (if s.Workload.duration > 0.0 then net /. s.Workload.duration
+                 else 0.0);
+              path_brokers;
+              active = true;
+            }
+          in
+          if has_chaos then Hashtbl.replace in_flight_tbl l.id l;
+          Event_queue.add events ~time:l.depart (Depart l)
+        end
+  in
+  let drop l t =
+    l.active <- false;
+    Hashtbl.remove in_flight_tbl l.id;
+    decr in_flight;
+    incr dropped_midflight;
+    let lost = l.rev_rate *. (l.depart -. t) in
+    revenue := !revenue -. lost;
+    revenue_lost := !revenue_lost +. lost
+  in
+  let on_crash b t =
+    down.(b) <- down.(b) + 1;
+    if down.(b) = 1 then begin
+      incr total_down;
+      down_since.(b) <- t;
+      invalidate_broker b;
+      (* In-flight sessions riding b, in session-id order (deterministic). *)
+      let affected =
+        Hashtbl.fold
+          (fun _ l acc ->
+            if l.active && Array.exists (fun pb -> pb = b) l.path_brokers then
+              l :: acc
+            else acc)
+          in_flight_tbl []
+      in
+      let affected = List.sort (fun a b -> Int.compare a.id b.id) affected in
+      List.iter
+        (fun l ->
+          (* Release the whole old reservation, then try an alternate
+             B-dominated path that avoids every down broker. *)
+          Array.iter (fun pb -> adjust pb t (-.l.demand)) l.path_brokers;
+          let rerouted =
+            failover_on
+            &&
+            match path_for l.src l.dst with
+            | None -> false
+            | Some path ->
+                let pbs = filter_live_brokers path in
+                if fits pbs l.demand then begin
+                  Array.iter (fun pb -> adjust pb t l.demand) pbs;
+                  l.path_brokers <- pbs;
+                  true
+                end
+                else false
+          in
+          if rerouted then incr failed_over else drop l t)
+        affected
+    end
+  in
+  let on_recover b t =
+    if down.(b) > 0 then begin
+      down.(b) <- down.(b) - 1;
+      if down.(b) = 0 then begin
+        decr total_down;
+        downtime := !downtime +. (t -. down_since.(b));
+        flush_degraded ()
+      end
+    end
+  in
+  let handle ev t =
+    match ev with
+    | Depart l ->
+        if l.active then begin
+          Array.iter (fun pb -> adjust pb t (-.l.demand)) l.path_brokers;
+          l.active <- false;
+          if has_chaos then Hashtbl.remove in_flight_tbl l.id;
+          decr in_flight
+        end
+    | Fault (Faults.Crash, b) -> on_crash b t
+    | Fault (Faults.Recover, b) -> on_recover b t
+    | Retry (s, attempt) -> admit_session s t ~attempt
+  in
+  let process_until t =
     let continue = ref true in
     while !continue do
-      match Event_queue.peek_time departures with
-      | Some dt when dt <= t -> begin
-          match Event_queue.pop departures with
-          | Some (dt, dep) ->
-              Array.iter (fun b -> adjust b dt (-.dep.demand)) dep.path_brokers;
-              decr in_flight
+      match Event_queue.peek_time events with
+      | Some et when et <= t -> begin
+          match Event_queue.pop events with
+          | Some (et, ev) -> handle ev et
           | None -> assert false
         end
       | Some _ | None -> continue := false
@@ -94,58 +419,29 @@ let run topo ~brokers ~sessions config =
         invalid_arg "Simulator.run: sessions not sorted by arrival";
       last_arrival := s.Workload.arrival;
       incr offered;
-      process_departures_until s.Workload.arrival;
-      match path_for s.Workload.src s.Workload.dst with
-      | None -> incr rejected_no_path
-      | Some path ->
-          let path_brokers =
-            Array.of_list
-              (List.filter is_broker (Array.to_list path))
-          in
-          let fits =
-            Array.for_all
-              (fun b ->
-                get used b +. s.Workload.demand
-                <= config.capacity_of b +. 1e-9)
-              path_brokers
-          in
-          if not fits then incr rejected_capacity
-          else begin
-            incr admitted;
-            incr in_flight;
-            if !in_flight > !peak_in_flight then peak_in_flight := !in_flight;
-            Array.iter
-              (fun b -> adjust b s.Workload.arrival s.Workload.demand)
-              path_brokers;
-            Event_queue.add departures
-              ~time:(s.Workload.arrival +. s.Workload.duration)
-              { path_brokers; demand = s.Workload.demand };
-            let hops = Array.length path - 1 in
-            hops_total := !hops_total + hops;
-            (* Employees: intermediate non-broker vertices. *)
-            let employees = ref 0 in
-            for i = 1 to Array.length path - 2 do
-              if not (is_broker path.(i)) then incr employees
-            done;
-            employee_hops_total := !employee_hops_total + (2 * !employees);
-            let dt = s.Workload.duration *. s.Workload.demand in
-            revenue :=
-              !revenue
-              +. (2.0 *. config.price *. dt)
-              -. (config.employee_cost *. float_of_int (2 * !employees) *. dt)
-          end)
+      process_until s.Workload.arrival;
+      admit_session s s.Workload.arrival ~attempt:0)
     sessions;
-  (* Drain remaining departures to close the utilization integrals. *)
-  let horizon =
-    let rec drain acc =
-      match Event_queue.pop departures with
-      | Some (t, dep) ->
-          Array.iter (fun b -> adjust b t (-.dep.demand)) dep.path_brokers;
-          drain (Float.max acc t)
-      | None -> acc
-    in
-    drain (Float.max !last_arrival 0.0)
-  in
+  (* Drain remaining events (departures, retries, faults) to close the
+     utilization and downtime integrals. *)
+  let horizon = ref (Float.max !last_arrival 0.0) in
+  let continue = ref true in
+  while !continue do
+    match Event_queue.pop events with
+    | Some (t, ev) ->
+        horizon := Float.max !horizon t;
+        handle ev t
+    | None -> continue := false
+  done;
+  Event_queue.clear events;
+  let horizon = !horizon in
+  Array.iter
+    (fun b ->
+      if down.(b) > 0 then begin
+        downtime := !downtime +. (horizon -. down_since.(b));
+        down.(b) <- 0
+      end)
+    brokers;
   let mean_utilization =
     let touched = Hashtbl.fold (fun b _ acc -> b :: acc) last_change [] in
     let sum = ref 0.0 and count = ref 0 in
@@ -160,11 +456,18 @@ let run topo ~brokers ~sessions config =
       touched;
     if !count = 0 then 0.0 else !sum /. float_of_int !count
   in
+  let n_brokers = Array.length brokers in
+  let availability =
+    if n_brokers = 0 || horizon <= 0.0 then 1.0
+    else
+      Float.max 0.0 (1.0 -. (!downtime /. (float_of_int n_brokers *. horizon)))
+  in
   {
     offered = !offered;
     admitted = !admitted;
     rejected_no_path = !rejected_no_path;
     rejected_capacity = !rejected_capacity;
+    rejected_shed = !rejected_shed;
     admission_rate =
       (if !offered = 0 then 0.0
        else float_of_int !admitted /. float_of_int !offered);
@@ -177,4 +480,32 @@ let run topo ~brokers ~sessions config =
     peak_in_flight = !peak_in_flight;
     mean_broker_utilization = mean_utilization;
     revenue = !revenue;
+    failed_over = !failed_over;
+    dropped_midflight = !dropped_midflight;
+    retried_admitted = !retried_admitted;
+    broker_downtime = !downtime;
+    revenue_lost = !revenue_lost;
+    availability;
   }
+
+let delivered_rate s =
+  if s.offered = 0 then 0.0
+  else float_of_int (s.admitted - s.dropped_midflight) /. float_of_int s.offered
+
+let stats_equal a b =
+  a.offered = b.offered && a.admitted = b.admitted
+  && a.rejected_no_path = b.rejected_no_path
+  && a.rejected_capacity = b.rejected_capacity
+  && a.rejected_shed = b.rejected_shed
+  && Float.equal a.admission_rate b.admission_rate
+  && Float.equal a.mean_hops b.mean_hops
+  && Float.equal a.employee_hop_fraction b.employee_hop_fraction
+  && a.peak_in_flight = b.peak_in_flight
+  && Float.equal a.mean_broker_utilization b.mean_broker_utilization
+  && Float.equal a.revenue b.revenue
+  && a.failed_over = b.failed_over
+  && a.dropped_midflight = b.dropped_midflight
+  && a.retried_admitted = b.retried_admitted
+  && Float.equal a.broker_downtime b.broker_downtime
+  && Float.equal a.revenue_lost b.revenue_lost
+  && Float.equal a.availability b.availability

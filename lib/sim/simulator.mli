@@ -11,7 +11,21 @@
     Paths are hop-shortest dominated paths, computed once per distinct
     (src, dst) pair and cached. Brokers earn [2·price·demand·duration] per
     admitted session (both endpoints pay, as in Fig. 6) and pay
-    [employee_cost] per non-broker transit hop used. *)
+    [employee_cost] per non-broker transit hop used.
+
+    With {!chaos} supplied, the run becomes an event-driven loop — arrivals,
+    departures, failures, recoveries and retries merged through one
+    {!Event_queue} — that injects broker crash/recover events ({!Faults}),
+    fails live sessions over onto alternate dominated paths avoiding down
+    brokers, retries blocked arrivals with exponential backoff, and
+    optionally sheds load via a per-broker admission circuit breaker.
+
+    Determinism: given the same topology, broker set, session array and
+    chaos value, [run] is bit-for-bit reproducible — the only randomness is
+    the pre-generated fault stream and a jitter stream derived from
+    [chaos_seed]. With [?chaos] absent the loop degenerates to the plain
+    arrival/departure simulation, byte-identical to a chaos value with an
+    empty fault stream and [no_retry]. *)
 
 type config = {
   capacity_of : int -> float;  (** per-broker capacity in demand units *)
@@ -25,22 +39,85 @@ val uniform_capacity : float -> config
 val degree_capacity : Broker_graph.Graph.t -> factor:float -> config
 (** Capacity proportional to broker degree — big hubs carry more. *)
 
+type retry_policy = {
+  max_attempts : int;  (** additional attempts after the initial one *)
+  base_delay : float;
+  multiplier : float;  (** exponential backoff factor *)
+  jitter : float;
+      (** each delay is scaled by [1 + jitter·u], [u ~ U(0,1)] drawn from
+          the deterministic chaos jitter stream *)
+}
+
+val no_retry : retry_policy
+(** [max_attempts = 0]: every blocked arrival is rejected immediately. *)
+
+val default_retry : retry_policy
+(** 3 attempts, base delay 1.0, doubling, jitter 0.5. *)
+
+type breaker_policy = {
+  high_water : float;  (** utilization fraction that arms the breaker *)
+  trip_after : float;
+      (** how long utilization must stay at/above [high_water] to trip *)
+  cooldown : float;  (** a tripped broker sheds all arrivals this long *)
+}
+
+val default_breaker : breaker_policy
+(** high-water 0.9, trip after 5.0, cooldown 25.0. *)
+
+type chaos = {
+  faults : Faults.event array;
+      (** pre-generated, time-sorted; events for non-broker vertices are
+          ignored. At equal times faults are served before departures and
+          retries (pessimistic order). *)
+  failover : bool;
+      (** when a broker crashes, try to move its in-flight sessions onto an
+          alternate dominated path avoiding every down broker (the X7
+          ablation switch) *)
+  retry : retry_policy;
+  breaker : breaker_policy option;
+      (** admission-side circuit breaker; failover placement is exempt *)
+  chaos_seed : int;  (** seeds the retry-jitter stream *)
+}
+
+val default_chaos : Faults.event array -> chaos
+(** Failover on, {!default_retry}, no breaker, seed 97. *)
+
 type stats = {
-  offered : int;
+  offered : int;  (** sessions presented (retries not re-counted) *)
   admitted : int;
   rejected_no_path : int;
   rejected_capacity : int;
+  rejected_shed : int;  (** blocked by a tripped circuit breaker *)
   admission_rate : float;
-  mean_hops : float;  (** over admitted sessions *)
+  mean_hops : float;  (** over admitted sessions, at admission time *)
   employee_hop_fraction : float;
       (** fraction of admitted-session hops crossing a hired non-broker *)
   peak_in_flight : int;
   mean_broker_utilization : float;
       (** time-average of used/capacity over brokers that served traffic *)
-  revenue : float;  (** broker coalition net revenue *)
+  revenue : float;
+      (** broker coalition net revenue; mid-flight drops refund the
+          unserved remainder of their take *)
+  failed_over : int;  (** session-reroute events caused by broker crashes *)
+  dropped_midflight : int;  (** admitted sessions killed by a crash *)
+  retried_admitted : int;  (** admitted on a retry attempt (> 0) *)
+  broker_downtime : float;
+      (** summed per-broker down time (union of overlapping outages),
+          clipped to the run horizon *)
+  revenue_lost : float;  (** refunds issued for mid-flight drops *)
+  availability : float;
+      (** 1 − downtime / (brokers · horizon); 1.0 without chaos *)
 }
 
+val delivered_rate : stats -> float
+(** Fraction of offered sessions admitted {e and} carried to completion:
+    [(admitted − dropped_midflight) / offered]. *)
+
+val stats_equal : stats -> stats -> bool
+(** Field-wise equality, [Float.equal] on floats (no polymorphic compare). *)
+
 val run :
+  ?chaos:chaos ->
   Broker_topo.Topology.t ->
   brokers:int array ->
   sessions:Workload.session array ->
@@ -48,4 +125,5 @@ val run :
   stats
 (** Deterministic given the inputs. Sessions must be sorted by arrival
     (as {!Workload.generate} produces).
-    @raise Invalid_argument on out-of-order arrivals. *)
+    @raise Invalid_argument on out-of-order arrivals, negative [price],
+    [employee_cost] or [capacity_of], or an out-of-range broker id. *)

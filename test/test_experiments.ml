@@ -75,6 +75,54 @@ let test_fig3_correlation_decays () =
   check_bool "correlation defined" true
     (Float.is_finite small.E.Fig3.correlation)
 
+let test_ext_chaos_rows () =
+  let module R = E.Ext_chaos in
+  let ctx = tiny_ctx () in
+  let rows = with_quiet_stdout (fun () -> R.compute ~n_sessions:800 ctx) in
+  let n_keeps = List.length R.keeps in
+  check_int "3 alliance sizes x rate sweep" (3 * n_keeps) (List.length rows);
+  List.iter
+    (fun (r : R.row) ->
+      check_bool "availability in [0,1]" true
+        (r.R.availability >= 0.0 && r.R.availability <= 1.0);
+      check_bool "delivered rates in [0,1]" true
+        (r.R.delivered_on >= 0.0 && r.R.delivered_on <= 1.0
+        && r.R.delivered_off >= 0.0 && r.R.delivered_off <= 1.0);
+      if r.R.keep = 0.0 then begin
+        check_float "full availability at zero rate" 1.0 r.R.availability;
+        check_int "no drops at zero rate" 0 r.R.dropped_off;
+        check_int "no reroutes at zero rate" 0 r.R.failed_over;
+        check_float "failover irrelevant at zero rate" r.R.delivered_off
+          r.R.delivered_on
+      end
+      else begin
+        (* The X7 acceptance bar: failover recovers strictly more delivered
+           sessions at every nonzero fault rate. *)
+        check_bool "failover strictly wins" true
+          (r.R.delivered_on > r.R.delivered_off);
+        check_bool "some sessions rerouted" true (r.R.failed_over > 0);
+        check_bool "drops without failover" true (r.R.dropped_off > 0)
+      end)
+    rows;
+  (* Within each alliance size (keeps ascend), availability degrades
+     monotonically — guaranteed sample-wise by the coupled thinning. *)
+  List.iteri
+    (fun i group_start ->
+      ignore i;
+      let group = List.filteri (fun j _ -> j >= group_start && j < group_start + n_keeps) rows in
+      ignore
+        (List.fold_left
+           (fun prev (r : R.row) ->
+             check_bool "availability monotone in fault rate" true
+               (r.R.availability <= prev +. 1e-12);
+             r.R.availability)
+           1.0 group))
+    [ 0; n_keeps; 2 * n_keeps ];
+  (* A fresh identically-seeded context replays the exact rows (Ctx.rng
+     streams are counter-derived, so reuse of the same context would not). *)
+  let rows2 = with_quiet_stdout (fun () -> R.compute ~n_sessions:800 (tiny_ctx ())) in
+  check_bool "seed-deterministic" true (rows = rows2)
+
 let test_all_experiments_run () =
   let ctx = tiny_ctx () in
   with_quiet_stdout (fun () -> E.All.run_all ctx);
@@ -105,6 +153,7 @@ let suite =
         Alcotest.test_case "table3 rows" `Quick test_table3_rows;
         Alcotest.test_case "fig2a" `Quick test_fig2a_result;
         Alcotest.test_case "fig3" `Quick test_fig3_correlation_decays;
+        Alcotest.test_case "ext_chaos" `Quick test_ext_chaos_rows;
         Alcotest.test_case "lookup unknown" `Quick test_run_one_unknown;
         Alcotest.test_case "find" `Quick test_find;
       ] );

@@ -190,6 +190,367 @@ let test_sim_utilization_bounds () =
   check_int "accounting adds up" stats.Sim.offered
     (stats.Sim.admitted + stats.Sim.rejected_no_path + stats.Sim.rejected_capacity)
 
+(* ---------- Event_queue clear & tie-break ---------- *)
+
+let test_eq_clear () =
+  let q = Eq.create () in
+  for i = 0 to 5 do
+    Eq.add q ~time:(float_of_int i) i
+  done;
+  Eq.clear q;
+  check_int "size 0" 0 (Eq.size q);
+  check_bool "empty" true (Eq.is_empty q);
+  check_bool "pop none" true (Eq.pop q = None);
+  (* Still usable after clear; the seq counter restarts so ties follow the
+     new insertion order. *)
+  Eq.add q ~time:1.0 10;
+  Eq.add q ~time:1.0 11;
+  check_bool "first tie" true (snd (Option.get (Eq.pop q)) = 10);
+  check_bool "second tie" true (snd (Option.get (Eq.pop q)) = 11)
+
+let eq_qcheck_fifo_ties =
+  (* Times drawn from a 3-value set so ties are common: the popped sequence
+     must equal a stable sort by time (FIFO within equal times). *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"event queue FIFO on ties"
+       QCheck.(small_list (int_bound 2))
+       (fun raw ->
+         let items = List.mapi (fun i t -> (float_of_int t, i)) raw in
+         let q = Eq.create () in
+         List.iter (fun (t, i) -> Eq.add q ~time:t i) items;
+         let popped =
+           List.init (List.length items) (fun _ -> Option.get (Eq.pop q))
+         in
+         let expected =
+           List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) items
+         in
+         popped = expected))
+
+(* ---------- Faults ---------- *)
+
+module Faults = Broker_sim.Faults
+
+let xr seed = Broker_util.Xrandom.create seed
+
+let faults_fixture () =
+  let t = small_internet ~seed:3 ~scale:0.01 () in
+  let brokers = Broker_core.Maxsg.run t.Broker_topo.Topology.graph ~k:10 in
+  (t, brokers)
+
+let test_faults_sorted_and_paired () =
+  let t, brokers = faults_fixture () in
+  let events =
+    Faults.generate ~rng:(xr 5) t ~brokers ~horizon:200.0
+      (Faults.Independent { mtbf = 50.0; mttr = 10.0 })
+  in
+  check_bool "nonempty" true (Array.length events > 0);
+  let prev = ref neg_infinity in
+  Array.iter
+    (fun (e : Faults.event) ->
+      check_bool "sorted" true (e.Faults.time >= !prev);
+      prev := e.Faults.time;
+      check_bool "in horizon" true (e.Faults.time >= 0.0 && e.Faults.time <= 200.0))
+    events;
+  (* Independent scenario: per broker, strict crash/recover alternation. *)
+  let state = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Faults.event) ->
+      let d = Option.value ~default:false (Hashtbl.find_opt state e.Faults.broker) in
+      (match e.Faults.kind with
+      | Faults.Crash -> check_bool "crash while up" false d
+      | Faults.Recover -> check_bool "recover while down" true d);
+      Hashtbl.replace state e.Faults.broker (Faults.kind_equal e.Faults.kind Faults.Crash))
+    events;
+  Hashtbl.iter (fun _ d -> check_bool "all pairs closed" false d) state
+
+let test_faults_deterministic_and_zero_rate () =
+  let t, brokers = faults_fixture () in
+  let gen () =
+    Faults.generate ~rng:(xr 9) t ~brokers ~horizon:150.0
+      (Faults.Degree_targeted { mtbf = 40.0; mttr = 8.0; bias = 1.0 })
+  in
+  check_bool "same seed, same stream" true (gen () = gen ());
+  let empty =
+    Faults.generate ~rng:(xr 9) t ~brokers ~horizon:150.0
+      (Faults.Independent { mtbf = infinity; mttr = 10.0 })
+  in
+  check_int "infinite mtbf is the zero-rate process" 0 (Array.length empty)
+
+let test_faults_invalid () =
+  let t, brokers = faults_fixture () in
+  let expect msg scenario =
+    Alcotest.check_raises msg (Invalid_argument msg) (fun () ->
+        ignore (Faults.generate ~rng:(xr 1) t ~brokers ~horizon:10.0 scenario))
+  in
+  expect "Faults.generate: mtbf must be positive"
+    (Faults.Independent { mtbf = 0.0; mttr = 1.0 });
+  expect "Faults.generate: mttr must be positive and finite"
+    (Faults.Independent { mtbf = 10.0; mttr = infinity });
+  expect "Faults.generate: bias must be >= 0"
+    (Faults.Degree_targeted { mtbf = 10.0; mttr = 1.0; bias = -1.0 });
+  Alcotest.check_raises "negative horizon"
+    (Invalid_argument "Faults.generate: horizon must be >= 0") (fun () ->
+      ignore
+        (Faults.generate ~rng:(xr 1) t ~brokers ~horizon:(-1.0)
+           (Faults.Independent { mtbf = 10.0; mttr = 1.0 })))
+
+let test_faults_ixp_groups () =
+  (* Star with an IXP fabric at the center: its broker members fail as a
+     unit, simultaneously. *)
+  let topo = star_topo 5 in
+  topo.Broker_topo.Topology.kinds.(0) <- Broker_topo.Node_meta.Ixp;
+  let brokers = [| 1; 2; 3 |] in
+  let events =
+    Faults.generate ~rng:(xr 21) topo ~brokers ~horizon:500.0
+      (Faults.Ixp_outage { mtbf = 40.0; mttr = 10.0 })
+  in
+  check_bool "some outages" true (Array.length events > 0);
+  check_int "whole-group multiples" 0 (Array.length events mod (2 * 3));
+  (* Every event time is shared by exactly the 3 member brokers. *)
+  let by_time = Hashtbl.create 16 in
+  Array.iter
+    (fun (e : Faults.event) ->
+      check_bool "member only" true (e.Faults.broker >= 1 && e.Faults.broker <= 3);
+      let key = (e.Faults.time, Faults.kind_equal e.Faults.kind Faults.Crash) in
+      Hashtbl.replace by_time key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt by_time key)))
+    events;
+  Hashtbl.iter (fun _ c -> check_int "group of members" 3 c) by_time
+
+let test_faults_thin_nested () =
+  let t, brokers = faults_fixture () in
+  let base =
+    Faults.generate ~rng:(xr 5) t ~brokers ~horizon:400.0
+      (Faults.Independent { mtbf = 60.0; mttr = 12.0 })
+  in
+  check_bool "keep=1 is identity" true (Faults.thin ~rng:(xr 2) ~keep:1.0 base = base);
+  check_int "keep=0 is empty" 0 (Array.length (Faults.thin ~rng:(xr 2) ~keep:0.0 base));
+  (* Identically seeded thinning couples the sweep: lower keep yields a
+     subset of the higher keep's events. *)
+  let lo = Faults.thin ~rng:(xr 2) ~keep:0.25 base in
+  let hi = Faults.thin ~rng:(xr 2) ~keep:0.6 base in
+  check_bool "nested" true
+    (Array.for_all (fun e -> Array.exists (fun e' -> e' = e) hi) lo)
+
+(* ---------- Simulator chaos layer ---------- *)
+
+let fault ~time ~broker kind = { Faults.time; broker; kind }
+
+let zero_chaos =
+  {
+    Sim.faults = [||];
+    failover = true;
+    retry = Sim.no_retry;
+    breaker = None;
+    chaos_seed = 0;
+  }
+
+let test_sim_validates_config () =
+  let topo = star_topo 4 in
+  let sessions = [| session ~id:0 ~src:1 ~dst:2 ~arrival:0.0 ~duration:1.0 |] in
+  let base = Sim.uniform_capacity 1.0 in
+  Alcotest.check_raises "negative price"
+    (Invalid_argument "Simulator.run: price must be >= 0") (fun () ->
+      ignore
+        (Sim.run topo ~brokers:[| 0 |] ~sessions { base with Sim.price = -1.0 }));
+  Alcotest.check_raises "negative employee cost"
+    (Invalid_argument "Simulator.run: employee_cost must be >= 0") (fun () ->
+      ignore
+        (Sim.run topo ~brokers:[| 0 |] ~sessions
+           { base with Sim.employee_cost = -0.1 }));
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Simulator.run: capacity_of must be >= 0") (fun () ->
+      ignore
+        (Sim.run topo ~brokers:[| 0 |] ~sessions
+           { base with Sim.capacity_of = (fun _ -> -2.0) }));
+  Alcotest.check_raises "broker out of range"
+    (Invalid_argument "Simulator.run: broker id out of range") (fun () ->
+      ignore (Sim.run topo ~brokers:[| 99 |] ~sessions base))
+
+let test_sim_chaos_noop_equivalence () =
+  (* The chaos layer with a zero-rate fault process is a strict no-op: the
+     stats are identical, field for field, to the plain simulator. *)
+  let t = small_internet ~seed:3 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let brokers = Broker_core.Maxsg.run g ~k:15 in
+  let model = Broker_core.Traffic.gravity ~rng:(rng ()) g in
+  let sessions =
+    Workload.generate ~rng:(rng ()) model ~n_sessions:600 Workload.default_params
+  in
+  let config = Sim.degree_capacity g ~factor:0.2 in
+  let plain = Sim.run t ~brokers ~sessions config in
+  let chaos_on = Sim.run ~chaos:zero_chaos t ~brokers ~sessions config in
+  let chaos_off =
+    Sim.run ~chaos:{ zero_chaos with Sim.failover = false } t ~brokers ~sessions
+      config
+  in
+  check_bool "zero-rate chaos = plain" true (Sim.stats_equal plain chaos_on);
+  check_bool "failover flag irrelevant without faults" true
+    (Sim.stats_equal plain chaos_off)
+
+let sim_qcheck_noop =
+  let t = small_internet ~seed:7 ~scale:0.008 () in
+  let g = t.Broker_topo.Topology.graph in
+  let brokers = Broker_core.Maxsg.run g ~k:12 in
+  let model = Broker_core.Traffic.gravity ~rng:(xr 31) g in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:40 ~name:"chaos layer no-op when disabled"
+       QCheck.(pair (int_bound 120) (int_bound 3))
+       (fun (n_sessions, fi) ->
+         let factor = [| 0.05; 0.1; 0.3; 1.0 |].(fi) in
+         let sessions =
+           Workload.generate
+             ~rng:(xr ((13 * n_sessions) + fi))
+             model ~n_sessions Workload.default_params
+         in
+         let config = Sim.degree_capacity g ~factor in
+         Sim.stats_equal
+           (Sim.run t ~brokers ~sessions config)
+           (Sim.run ~chaos:zero_chaos t ~brokers ~sessions config)))
+
+(* 4-cycle 0-1-2-3-0 with brokers 1 and 3: both leaf pairs are bridged by
+   either broker, so a session 0->2 can fail over from one to the other.
+   The path picked at admission is an implementation detail, so crash each
+   broker in turn: exactly one of the two runs must reroute. *)
+let cycle_fixture () =
+  let graph = G.of_edges ~n:4 [| (0, 1); (1, 2); (2, 3); (3, 0) |] in
+  let topo = { (star_topo 4) with Broker_topo.Topology.graph } in
+  let sessions = [| session ~id:0 ~src:0 ~dst:2 ~arrival:0.0 ~duration:10.0 |] in
+  (topo, sessions)
+
+let cycle_run ~failover ~crash =
+  let topo, sessions = cycle_fixture () in
+  let faults =
+    [|
+      fault ~time:2.0 ~broker:crash Faults.Crash;
+      fault ~time:50.0 ~broker:crash Faults.Recover;
+    |]
+  in
+  Sim.run
+    ~chaos:{ zero_chaos with Sim.faults; failover }
+    topo ~brokers:[| 1; 3 |] ~sessions (Sim.uniform_capacity 5.0)
+
+let test_sim_failover_reroutes () =
+  let a = cycle_run ~failover:true ~crash:1 in
+  let b = cycle_run ~failover:true ~crash:3 in
+  check_int "exactly one run rerouted" 1 (a.Sim.failed_over + b.Sim.failed_over);
+  check_int "no drops with an alternate path" 0
+    (a.Sim.dropped_midflight + b.Sim.dropped_midflight);
+  check_float "no revenue lost" 0.0 (a.Sim.revenue_lost +. b.Sim.revenue_lost);
+  let a' = cycle_run ~failover:false ~crash:1 in
+  let b' = cycle_run ~failover:false ~crash:3 in
+  check_int "without failover the same crash drops it" 1
+    (a'.Sim.dropped_midflight + b'.Sim.dropped_midflight);
+  check_int "never rerouted when disabled" 0
+    (a'.Sim.failed_over + b'.Sim.failed_over)
+
+let test_sim_drop_without_alternate () =
+  (* Star: the only broker is the center; its crash kills the session 80%
+     through its revenue. *)
+  let topo = star_topo 4 in
+  let sessions = [| session ~id:0 ~src:1 ~dst:2 ~arrival:0.0 ~duration:10.0 |] in
+  let faults =
+    [|
+      fault ~time:2.0 ~broker:0 Faults.Crash;
+      fault ~time:50.0 ~broker:0 Faults.Recover;
+    |]
+  in
+  let s =
+    Sim.run
+      ~chaos:{ zero_chaos with Sim.faults }
+      topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 5.0)
+  in
+  check_int "dropped" 1 s.Sim.dropped_midflight;
+  check_int "not rerouted" 0 s.Sim.failed_over;
+  (* Admission booked 2*1*1*10 = 20; 8 of 10 units refunded. *)
+  check_float_eps 1e-9 "revenue lost" 16.0 s.Sim.revenue_lost;
+  check_float_eps 1e-9 "net revenue" 4.0 s.Sim.revenue;
+  (* Downtime 2..50 over a horizon ending at the recover event. *)
+  check_float_eps 1e-9 "downtime" 48.0 s.Sim.broker_downtime;
+  check_float_eps 1e-9 "availability" (1.0 -. (48.0 /. 50.0)) s.Sim.availability
+
+let test_sim_retry_admits_after_backoff () =
+  (* Capacity 1: the second session is blocked at t=1, retries at t=5
+     (still blocked) and t=13 (admitted, the first left at t=10). *)
+  let topo = star_topo 6 in
+  let sessions =
+    [|
+      session ~id:0 ~src:1 ~dst:2 ~arrival:0.0 ~duration:10.0;
+      session ~id:1 ~src:3 ~dst:4 ~arrival:1.0 ~duration:2.0;
+    |]
+  in
+  let retry =
+    { Sim.max_attempts = 2; base_delay = 4.0; multiplier = 2.0; jitter = 0.0 }
+  in
+  let s =
+    Sim.run
+      ~chaos:{ zero_chaos with Sim.retry }
+      topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 1.0)
+  in
+  check_int "both admitted eventually" 2 s.Sim.admitted;
+  check_int "one via retry" 1 s.Sim.retried_admitted;
+  check_int "offered counts arrivals once" 2 s.Sim.offered;
+  check_int "no capacity rejection" 0 s.Sim.rejected_capacity;
+  (* Exhausting the budget still rejects: one attempt retries at t=5 only. *)
+  let s' =
+    Sim.run
+      ~chaos:
+        { zero_chaos with Sim.retry = { retry with Sim.max_attempts = 1 } }
+      topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 1.0)
+  in
+  check_int "budget exhausted" 1 s'.Sim.rejected_capacity;
+  check_int "only the first admitted" 1 s'.Sim.admitted
+
+let test_sim_breaker_sheds () =
+  (* high_water 0.5 with capacity 1: the first admission saturates the
+     center broker at t=0; by t=2 the excursion exceeds trip_after=1, so
+     the second arrival is shed (not a capacity rejection). *)
+  let topo = star_topo 6 in
+  let sessions =
+    [|
+      session ~id:0 ~src:1 ~dst:2 ~arrival:0.0 ~duration:10.0;
+      session ~id:1 ~src:3 ~dst:4 ~arrival:2.0 ~duration:1.0;
+    |]
+  in
+  let breaker = Some { Sim.high_water = 0.5; trip_after = 1.0; cooldown = 100.0 } in
+  let s =
+    Sim.run
+      ~chaos:{ zero_chaos with Sim.breaker }
+      topo ~brokers:[| 0 |] ~sessions (Sim.uniform_capacity 1.0)
+  in
+  check_int "shed" 1 s.Sim.rejected_shed;
+  check_int "not a capacity rejection" 0 s.Sim.rejected_capacity;
+  check_int "one admitted" 1 s.Sim.admitted;
+  check_int "accounting adds up" s.Sim.offered
+    (s.Sim.admitted + s.Sim.rejected_no_path + s.Sim.rejected_capacity
+   + s.Sim.rejected_shed)
+
+let test_sim_chaos_deterministic () =
+  let t = small_internet ~seed:3 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let brokers = Broker_core.Maxsg.run g ~k:12 in
+  let model = Broker_core.Traffic.gravity ~rng:(xr 41) g in
+  let sessions =
+    Workload.generate ~rng:(xr 42) model ~n_sessions:800 Workload.default_params
+  in
+  let horizon = sessions.(799).Workload.arrival +. 20.0 in
+  let faults =
+    Faults.generate ~rng:(xr 43) t ~brokers ~horizon
+      (Faults.Independent { mtbf = horizon /. 6.0; mttr = 15.0 })
+  in
+  let chaos = { (Sim.default_chaos faults) with Sim.breaker = Some Sim.default_breaker } in
+  let config = Sim.degree_capacity g ~factor:0.2 in
+  let run () = Sim.run ~chaos t ~brokers ~sessions config in
+  let a = run () and b = run () in
+  check_bool "same inputs, same stats" true (Sim.stats_equal a b);
+  check_bool "something failed over" true (a.Sim.failed_over > 0);
+  check_bool "accounting adds up under chaos" true
+    (a.Sim.offered
+    = a.Sim.admitted + a.Sim.rejected_no_path + a.Sim.rejected_capacity
+      + a.Sim.rejected_shed);
+  check_bool "availability in [0,1]" true
+    (a.Sim.availability >= 0.0 && a.Sim.availability <= 1.0)
+
 (* ---------- Latency ---------- *)
 
 let test_latency_assign_all_edges () =
@@ -268,7 +629,18 @@ let suite =
         Alcotest.test_case "time order" `Quick test_eq_time_order;
         Alcotest.test_case "stable ties" `Quick test_eq_stable_ties;
         Alcotest.test_case "interleaved" `Quick test_eq_interleaved;
+        Alcotest.test_case "clear" `Quick test_eq_clear;
         eq_qcheck_sorted;
+        eq_qcheck_fifo_ties;
+      ] );
+    ( "sim.faults",
+      [
+        Alcotest.test_case "sorted & paired" `Quick test_faults_sorted_and_paired;
+        Alcotest.test_case "deterministic & zero rate" `Quick
+          test_faults_deterministic_and_zero_rate;
+        Alcotest.test_case "invalid" `Quick test_faults_invalid;
+        Alcotest.test_case "ixp groups" `Quick test_faults_ixp_groups;
+        Alcotest.test_case "thin nested" `Quick test_faults_thin_nested;
       ] );
     ( "sim.workload",
       [
@@ -285,6 +657,18 @@ let suite =
         Alcotest.test_case "employee hops" `Quick test_sim_employee_hops;
         Alcotest.test_case "unsorted rejected" `Quick test_sim_unsorted_rejected;
         Alcotest.test_case "utilization bounds" `Quick test_sim_utilization_bounds;
+      ] );
+    ( "sim.chaos",
+      [
+        Alcotest.test_case "validates config" `Quick test_sim_validates_config;
+        Alcotest.test_case "no-op equivalence" `Quick test_sim_chaos_noop_equivalence;
+        sim_qcheck_noop;
+        Alcotest.test_case "failover reroutes" `Quick test_sim_failover_reroutes;
+        Alcotest.test_case "drop without alternate" `Quick test_sim_drop_without_alternate;
+        Alcotest.test_case "retry admits after backoff" `Quick
+          test_sim_retry_admits_after_backoff;
+        Alcotest.test_case "breaker sheds" `Quick test_sim_breaker_sheds;
+        Alcotest.test_case "deterministic" `Quick test_sim_chaos_deterministic;
       ] );
     ( "routing.latency",
       [
