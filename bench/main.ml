@@ -4,6 +4,14 @@
      main.exe                 regenerate every table/figure, then time the kernels
      main.exe table1 fig2b    regenerate selected experiments only
      main.exe --timings       run only the Bechamel timing suites
+     main.exe --json FILE     with --timings/--perf-smoke: write per-kernel
+                              medians as JSON (the BENCH_*.json trajectory)
+     main.exe --perf-smoke    small-scale connectivity kernel pair only;
+                              exits non-zero unless the projected engine
+                              beats the legacy path
+     main.exe --timings --fullscale
+                              additionally hand-time the connectivity pair
+                              at REPRO_SCALE (Table 1 / Fig 2a shape)
      main.exe --list          list experiment ids
 
    Environment: REPRO_SCALE (default 1.0), REPRO_SOURCES (default 192),
@@ -42,6 +50,33 @@ let experiment_tests () =
              silently (fun () -> e.E.All.run ctx))))
     E.All.experiments
 
+(* The legacy/projected pair must time the exact same evaluation (same
+   brokers, same sources, same l_max): broker selection and source
+   sampling are hoisted out of the staged thunks. *)
+let connectivity_pair ctx =
+  let open Bechamel in
+  let g = E.Ctx.graph ctx in
+  let n = Broker_graph.Graph.n g in
+  let brokers = Broker_core.Baselines.db g ~k:100 in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  let srcs =
+    Broker_util.Sampling.without_replacement
+      (Broker_util.Xrandom.create 3)
+      ~n ~k:(min 32 n)
+  in
+  [
+    Test.make ~name:"connectivity/legacy"
+      (Staged.stage (fun () ->
+           ignore
+             (Broker_core.Connectivity.eval_sources_reference ~l_max:10 g
+                ~is_broker srcs)));
+    Test.make ~name:"connectivity/projected"
+      (Staged.stage (fun () ->
+           ignore
+             (Broker_core.Connectivity.eval_sources ~l_max:10 g ~is_broker
+                srcs)));
+  ]
+
 let kernel_tests () =
   let open Bechamel in
   let ctx = E.Ctx.create ~scale:0.05 ~sources:32 ~seed:11 () in
@@ -60,13 +95,8 @@ let kernel_tests () =
       (Staged.stage (fun () -> ignore (Broker_core.Greedy_mcb.celf g ~k:100)));
     Test.make ~name:"maxsg_k100"
       (Staged.stage (fun () -> ignore (Broker_core.Maxsg.run g ~k:100)));
-    Test.make ~name:"connectivity_32src"
-      (Staged.stage (fun () ->
-           let brokers = Broker_core.Baselines.db g ~k:100 in
-           ignore
-             (Broker_core.Connectivity.sampled ~rng ~sources:32 g
-                ~is_broker:(Broker_core.Connectivity.of_brokers ~n brokers))));
   ]
+  @ connectivity_pair ctx
 
 let chaos_tests () =
   let open Bechamel in
@@ -113,30 +143,195 @@ let chaos_tests () =
            ignore (Broker_sim.Simulator.run topo ~brokers ~sessions config)));
   ]
 
-let run_timings () =
-  let open Bechamel in
-  let benchmark name tests =
-    Printf.printf "\n-- Bechamel timings: %s --\n%!" name;
-    let instances = [ Toolkit.Instance.monotonic_clock ] in
-    let cfg =
-      Benchmark.cfg ~limit:200 ~quota:(Time.second 2.0) ~stabilize:false ()
-    in
-    let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
-    let ols =
-      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
-    in
-    let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-    let rows = Hashtbl.fold (fun key v acc -> (key, v) :: acc) results [] in
-    List.iter
-      (fun (key, result) ->
-        match Analyze.OLS.estimates result with
-        | Some [ est ] -> Printf.printf "%-44s %12.3f ms/run\n" key (est /. 1e6)
-        | Some _ | None -> Printf.printf "%-44s (no estimate)\n" key)
-      (List.sort (fun (a, _) (b, _) -> String.compare a b) rows)
+(* ------------------------------------------------------------------ *)
+(* Timing statistics and the JSON perf trajectory                      *)
+(* ------------------------------------------------------------------ *)
+
+type kernel_stat = { name : string; median_ns : float; samples : int }
+
+let clock_label =
+  Bechamel.Measure.label Bechamel.Toolkit.Instance.monotonic_clock
+
+(* Median ns/run over the raw samples — robust against the multi-modal
+   noise (GC, frequency scaling) that skews a mean or an OLS fit on short
+   CI runs, and what the BENCH_*.json trajectory records per kernel. *)
+let median_ns (b : Bechamel.Benchmark.t) =
+  let per_run =
+    Array.map
+      (fun m ->
+        Bechamel.Measurement_raw.get ~label:clock_label m
+        /. Bechamel.Measurement_raw.run m)
+      b.Bechamel.Benchmark.lr
   in
-  benchmark "tables_and_figures" (experiment_tests ());
-  benchmark "kernels" (kernel_tests ());
-  benchmark "chaos" (chaos_tests ())
+  Array.sort Float.compare per_run;
+  let k = Array.length per_run in
+  if k = 0 then 0.0
+  else if k mod 2 = 1 then per_run.(k / 2)
+  else (per_run.((k / 2) - 1) +. per_run.(k / 2)) /. 2.0
+
+let run_suite ~quota name tests =
+  let open Bechamel in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name tests) in
+  let stats =
+    Hashtbl.fold
+      (fun key (b : Benchmark.t) acc ->
+        {
+          name = key;
+          median_ns = median_ns b;
+          samples = Array.length b.Benchmark.lr;
+        }
+        :: acc)
+      raw []
+  in
+  List.sort (fun a b -> String.compare a.name b.name) stats
+
+let print_suite name stats =
+  Printf.printf "\n-- Bechamel timings: %s (median) --\n%!" name;
+  List.iter
+    (fun s -> Printf.printf "%-44s %12.3f ms/run\n" s.name (s.median_ns /. 1e6))
+    stats
+
+let find_stat stats suffix =
+  List.find_opt
+    (fun s ->
+      let ls = String.length s.name and lx = String.length suffix in
+      ls >= lx && String.sub s.name (ls - lx) lx = suffix)
+    stats
+
+(* legacy-over-projected median ratio of a connectivity kernel pair —
+   the headline numbers of this perf trajectory. *)
+let pair_speedup stats ~legacy ~projected =
+  match (find_stat stats legacy, find_stat stats projected) with
+  | Some l, Some p when p.median_ns > 0.0 -> Some (l.median_ns /. p.median_ns)
+  | _ -> None
+
+let connectivity_speedup stats =
+  pair_speedup stats ~legacy:"connectivity/legacy"
+    ~projected:"connectivity/projected"
+
+let fullscale_speedup stats =
+  pair_speedup stats ~legacy:"connectivity_fullscale/legacy"
+    ~projected:"connectivity_fullscale/projected"
+
+let write_json ~path suites =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"brokerset-bench/1\",\n";
+  Printf.bprintf buf "  \"quota_s\": 2.0,\n";
+  Buffer.add_string buf "  \"suites\": {\n";
+  let n_suites = List.length suites in
+  List.iteri
+    (fun i (suite_name, stats) ->
+      Printf.bprintf buf "    %S: [\n" suite_name;
+      let n = List.length stats in
+      List.iteri
+        (fun j s ->
+          Printf.bprintf buf
+            "      {\"name\": %S, \"median_ns\": %.1f, \"samples\": %d}%s\n"
+            s.name s.median_ns s.samples
+            (if j = n - 1 then "" else ","))
+        stats;
+      Printf.bprintf buf "    ]%s\n" (if i = n_suites - 1 then "" else ","))
+    suites;
+  Buffer.add_string buf "  },\n";
+  let all_stats = List.concat_map snd suites in
+  let derived =
+    List.filter_map
+      (fun (key, v) -> Option.map (fun s -> (key, s)) v)
+      [
+        ("connectivity_speedup", connectivity_speedup all_stats);
+        ("connectivity_fullscale_speedup", fullscale_speedup all_stats);
+      ]
+  in
+  Buffer.add_string buf "  \"derived\": {";
+  List.iteri
+    (fun i (key, s) ->
+      Printf.bprintf buf "%s\"%s\": %.2f" (if i = 0 then "" else ", ") key s)
+    derived;
+  Buffer.add_string buf "}\n";
+  Buffer.add_string buf "}\n";
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "wrote %s\n%!" path
+
+(* Full-scale (REPRO_SCALE-sized) connectivity evaluation pair, hand-timed:
+   the legacy path takes whole seconds per run out there, so a fixed small
+   repetition count replaces Bechamel's sampling. This is the Table 1 /
+   Fig 2a evaluation shape — a fixed source sample, each source
+   contributing its exact distance row. *)
+let fullscale_pair () =
+  let ctx = E.Ctx.from_env () in
+  let g = E.Ctx.graph ctx in
+  let n = Broker_graph.Graph.n g in
+  let brokers = Broker_core.Baselines.db g ~k:(min 1000 n) in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  let srcs =
+    Broker_util.Sampling.without_replacement
+      (Broker_util.Xrandom.create (E.Ctx.seed ctx + 7777))
+      ~n
+      ~k:(min (E.Ctx.sources ctx) n)
+  in
+  let reps = 3 in
+  let timed name f =
+    let samples =
+      Array.init reps (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          (Unix.gettimeofday () -. t0) *. 1e9)
+    in
+    Array.sort Float.compare samples;
+    { name; median_ns = samples.(reps / 2); samples = reps }
+  in
+  [
+    timed "connectivity_fullscale/legacy" (fun () ->
+        ignore
+          (Broker_core.Connectivity.eval_sources_reference ~l_max:10 g
+             ~is_broker srcs));
+    timed "connectivity_fullscale/projected" (fun () ->
+        ignore
+          (Broker_core.Connectivity.eval_sources ~l_max:10 g ~is_broker srcs));
+  ]
+
+let run_timings ~json ~fullscale () =
+  let suites =
+    [
+      ("tables_and_figures", run_suite ~quota:2.0 "tables_and_figures" (experiment_tests ()));
+      ("kernels", run_suite ~quota:2.0 "kernels" (kernel_tests ()));
+      ("chaos", run_suite ~quota:2.0 "chaos" (chaos_tests ()));
+    ]
+    @ (if fullscale then [ ("connectivity_fullscale", fullscale_pair ()) ] else [])
+  in
+  List.iter (fun (name, stats) -> print_suite name stats) suites;
+  let all_stats = List.concat_map snd suites in
+  (match connectivity_speedup all_stats with
+  | Some s -> Printf.printf "\nconnectivity projected vs legacy: %.2fx\n" s
+  | None -> ());
+  (match fullscale_speedup all_stats with
+  | Some s ->
+      Printf.printf "connectivity full-scale projected vs legacy: %.2fx\n" s
+  | None -> ());
+  match json with Some path -> write_json ~path suites | None -> ()
+
+(* CI perf gate: time only the connectivity kernel pair at small scale and
+   fail unless the projected engine beats the legacy path. *)
+let perf_smoke ~json () =
+  let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:11 () in
+  let stats = run_suite ~quota:1.0 "kernels" (connectivity_pair ctx) in
+  print_suite "kernels (perf smoke)" stats;
+  (match json with Some path -> write_json ~path [ ("kernels", stats) ] | None -> ());
+  match connectivity_speedup stats with
+  | Some s when s > 1.0 ->
+      Printf.printf "perf-smoke OK: projected engine is %.2fx faster\n" s
+  | Some s ->
+      Printf.printf "perf-smoke FAIL: projected engine is not faster (%.2fx)\n" s;
+      exit 1
+  | None ->
+      prerr_endline "perf-smoke FAIL: connectivity kernels missing";
+      exit 1
 
 let () =
   (* REPRO_LOG=info|debug enables library progress logging on stderr. *)
@@ -149,16 +344,24 @@ let () =
         | "warning" -> Some Logs.Warning
         | _ -> Some Logs.Info)
   | None -> ());
-  let args = List.tl (Array.to_list Sys.argv) in
-  let flags, ids =
-    List.partition (fun a -> String.length a > 2 && String.sub a 0 2 = "--") args
+  let rec parse flags json ids = function
+    | [] -> (List.rev flags, json, List.rev ids)
+    | [ "--json" ] ->
+        prerr_endline "--json requires a file argument";
+        exit 2
+    | "--json" :: path :: rest -> parse flags (Some path) ids rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "--" ->
+        parse (a :: flags) json ids rest
+    | a :: rest -> parse flags json (a :: ids) rest
   in
+  let flags, json, ids = parse [] None [] (List.tl (Array.to_list Sys.argv)) in
   let has f = List.mem f flags in
   if has "--list" then
     List.iter
       (fun (e : E.All.experiment) ->
         Printf.printf "%-18s %s\n" e.E.All.id e.E.All.description)
       E.All.experiments
+  else if has "--perf-smoke" then perf_smoke ~json ()
   else begin
     let timings_only = has "--timings" in
     if not timings_only then begin
@@ -179,5 +382,6 @@ let () =
                   exit 2)
             ids
     end;
-    if timings_only || ids = [] then run_timings ()
+    if timings_only || ids = [] then
+      run_timings ~json ~fullscale:(has "--fullscale") ()
   end

@@ -15,19 +15,42 @@ let of_brokers ~n brokers =
 
 let edge_ok ~is_broker u v = is_broker u || is_broker v
 
-(* Per-chunk accumulator of the source-parallel evaluation. *)
+(* Per-worker accumulator of the source-parallel evaluation. Everything
+   accumulated is an integer count, so the merged totals are independent of
+   how sources were partitioned across domains — the property that lets
+   the engine use strided load balancing while staying bit-identical under
+   any REPRO_DOMAINS setting. *)
 type acc = { hist : int array; mutable reached : int; mutable total : int }
 
-let eval ~l_max g ~is_broker sources =
+let empty_acc l_max = { hist = Array.make (l_max + 1) 0; reached = 0; total = 0 }
+
+let merge_acc x y =
+  Array.iteri (fun i v -> x.hist.(i) <- x.hist.(i) + v) y.hist;
+  x.reached <- x.reached + y.reached;
+  x.total <- x.total + y.total;
+  x
+
+let curve_of_acc ~l_max a =
+  let ftotal = float_of_int (max 1 a.total) in
+  let per_hop = Array.make (l_max + 1) 0.0 in
+  let acc = ref 0 in
+  for l = 1 to l_max do
+    acc := !acc + a.hist.(l);
+    per_hop.(l) <- float_of_int !acc /. ftotal
+  done;
+  { l_max; per_hop; saturated = float_of_int a.reached /. ftotal }
+
+(* Reference implementation: one predicate-filtered BFS per source, a fresh
+   distance array each, contiguous chunking. This is the slow generic path
+   the engine below is qcheck-tested against (and the "legacy" side of the
+   bench kernel pair); keep its behavior frozen. *)
+let eval_generic ~l_max g ~is_broker sources =
   let n = G.n g in
   if n < 2 then { l_max; per_hop = Array.make (l_max + 1) 0.0; saturated = 0.0 }
   else begin
     let edge_ok = edge_ok ~is_broker in
-    (* Sources are independent BFS runs over the immutable graph: fan out
-       over domains; merging histograms in chunk order keeps the result
-       identical to the sequential run. *)
     let worker ~lo ~hi =
-      let a = { hist = Array.make (l_max + 1) 0; reached = 0; total = 0 } in
+      let a = empty_acc l_max in
       for i = lo to hi - 1 do
         let dist = Bfs.distances_filtered g ~edge_ok sources.(i) in
         Array.iter
@@ -41,27 +64,53 @@ let eval ~l_max g ~is_broker sources =
       done;
       a
     in
-    let merge x y =
-      Array.iteri (fun i v -> x.hist.(i) <- x.hist.(i) + v) y.hist;
-      x.reached <- x.reached + y.reached;
-      x.total <- x.total + y.total;
-      x
+    let a =
+      Broker_util.Parallel.chunked ~n:(Array.length sources) ~worker
+        ~merge:merge_acc (empty_acc l_max)
+    in
+    curve_of_acc ~l_max a
+  end
+
+(* Engine path: materialize the dominated subgraph once per broker set,
+   then run closure-free direction-optimizing BFS per source on a
+   per-domain reusable workspace. Per-hop counts come straight from the
+   BFS level sizes — no per-source distance array, no O(n) scan. Sources
+   are strided across domains because per-source BFS cost is wildly uneven
+   (a source outside the dominated component finishes immediately). *)
+let eval ~l_max g ~is_broker sources =
+  let n = G.n g in
+  if n < 2 then { l_max; per_hop = Array.make (l_max + 1) 0.0; saturated = 0.0 }
+  else begin
+    let proj = Broker_graph.Projected.project g ~is_broker in
+    let pg = Broker_graph.Projected.graph proj in
+    let nsrc = Array.length sources in
+    let worker ~start ~step =
+      let ws = Bfs.workspace () in
+      let a = empty_acc l_max in
+      let i = ref start in
+      while !i < nsrc do
+        Bfs.run ws pg sources.(!i);
+        for d = 1 to Bfs.max_level ws do
+          let c = Bfs.level_count ws d in
+          a.reached <- a.reached + c;
+          if d <= l_max then a.hist.(d) <- a.hist.(d) + c
+        done;
+        a.total <- a.total + (n - 1);
+        i := !i + step
+      done;
+      a
     in
     let a =
-      Broker_util.Parallel.chunked ~n:(Array.length sources) ~worker ~merge
-        { hist = Array.make (l_max + 1) 0; reached = 0; total = 0 }
+      Broker_util.Parallel.strided ~n:nsrc ~worker ~merge:merge_acc
+        (empty_acc l_max)
     in
-    let ftotal = float_of_int (max 1 a.total) in
-    let per_hop = Array.make (l_max + 1) 0.0 in
-    let acc = ref 0 in
-    for l = 1 to l_max do
-      acc := !acc + a.hist.(l);
-      per_hop.(l) <- float_of_int !acc /. ftotal
-    done;
-    { l_max; per_hop; saturated = float_of_int a.reached /. ftotal }
+    curve_of_acc ~l_max a
   end
 
 let eval_sources ?(l_max = 10) g ~is_broker sources = eval ~l_max g ~is_broker sources
+
+let eval_sources_reference ?(l_max = 10) g ~is_broker sources =
+  eval_generic ~l_max g ~is_broker sources
 
 let exact ?(l_max = 10) g ~is_broker =
   eval ~l_max g ~is_broker (Array.init (G.n g) (fun i -> i))

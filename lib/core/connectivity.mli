@@ -62,9 +62,25 @@ val eval_sources :
   int array ->
   curve
 (** Evaluation over an explicit source array. All evaluators (including
-    this one) fan the independent per-source BFS runs out over OCaml 5
-    domains ({!Broker_util.Parallel}); results are deterministic and
-    identical to a sequential run. *)
+    this one) run on the dominated-path BFS engine: the broker-dominated
+    subgraph is materialized once per call ({!Broker_graph.Projected}),
+    each source is a closure-free direction-optimizing BFS on a per-domain
+    reusable workspace ({!Broker_graph.Bfs.run}), and sources are strided
+    across OCaml 5 domains ({!Broker_util.Parallel.strided}). Every
+    accumulated quantity is an integer count, so results are deterministic
+    and bit-identical to a sequential run (and to
+    {!eval_sources_reference}) for any [REPRO_DOMAINS]. *)
+
+val eval_sources_reference :
+  ?l_max:int ->
+  Broker_graph.Graph.t ->
+  is_broker:(int -> bool) ->
+  int array ->
+  curve
+(** The pre-engine generic path — one predicate-filtered BFS per source
+    over the unprojected graph. Slow; kept as the reference oracle the
+    qcheck equivalence suite and the [connectivity/legacy] bench kernel
+    compare the engine against. *)
 
 val edge_ok : is_broker:(int -> bool) -> int -> int -> bool
 (** The dominated-edge predicate itself, for composing with other

@@ -87,12 +87,17 @@ let broker_only_fraction ~rng ~sources g ~brokers =
         end
       done)
     srcs;
-  let edge_ok = Connectivity.edge_ok ~is_broker in
+  (* Every sampled source runs over the same dominated subgraph: project
+     once and count reached vertices straight off the engine workspace. *)
+  let pg =
+    Broker_graph.Projected.graph (Broker_graph.Projected.project g ~is_broker)
+  in
+  let ws = Broker_graph.Bfs.workspace () in
   let saturated = ref 0 in
   Array.iter
     (fun u ->
-      let dist = Broker_graph.Bfs.distances_filtered g ~edge_ok u in
-      Array.iter (fun d -> if d > 0 then incr saturated) dist)
+      Broker_graph.Bfs.run ws pg u;
+      saturated := !saturated + (Broker_graph.Bfs.reached ws - 1))
     srcs;
   let ftotal = float_of_int (max 1 !total) in
   let broker_only_pairs = float_of_int !broker_only /. ftotal in

@@ -29,16 +29,22 @@ let weighted_saturated ~rng ~sources g m ~is_broker =
   if n < 2 then 0.0
   else begin
     let draw = Broker_util.Sampling.weighted_alias m.masses in
-    let edge_ok = Connectivity.edge_ok ~is_broker in
+    (* All [sources] draws share one broker set: project once, then reuse a
+       single BFS workspace across the rows. *)
+    let pg =
+      Broker_graph.Projected.graph (Broker_graph.Projected.project g ~is_broker)
+    in
+    let ws = Broker_graph.Bfs.workspace () in
     let mass_total = Array.fold_left ( +. ) 0.0 m.masses in
     let served = ref 0.0 and possible = ref 0.0 in
     for _ = 1 to sources do
       let s = draw rng in
-      let dist = Broker_graph.Bfs.distances_filtered g ~edge_ok s in
+      Broker_graph.Bfs.run ws pg s;
       let row_served = ref 0.0 in
-      Array.iteri
-        (fun v d -> if d > 0 then row_served := !row_served +. m.masses.(v))
-        dist;
+      for v = 0 to n - 1 do
+        if Broker_graph.Bfs.distance ws v > 0 then
+          row_served := !row_served +. m.masses.(v)
+      done;
       (* Row total demand excludes the self pair. *)
       served := !served +. !row_served;
       possible := !possible +. (mass_total -. m.masses.(s))

@@ -1,11 +1,17 @@
 let generic g ~edge_ok ~max_depth srcs =
   let n = Graph.n g in
+  (* Validate every source before touching any state: a bad source must not
+     leave earlier sources enqueued in a half-initialized traversal for
+     callers that catch the exception. *)
+  List.iter
+    (fun s ->
+      if s < 0 || s >= n then invalid_arg "Bfs: source out of range")
+    srcs;
   let dist = Array.make n (-1) in
   let queue = Array.make n 0 in
   let head = ref 0 and tail = ref 0 in
   List.iter
     (fun s ->
-      if s < 0 || s >= n then invalid_arg "Bfs: source out of range";
       if dist.(s) < 0 then begin
         dist.(s) <- 0;
         queue.(!tail) <- s;
@@ -89,3 +95,179 @@ let path_to ~parents ~src dst =
     in
     walk dst []
   end
+
+(* ------------------------------------------------------------------ *)
+(* Direction-optimizing BFS over a reusable workspace                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The connectivity evaluators run one BFS per source over the same
+   (projected) graph, for hundreds of sources. A [workspace] holds every
+   scratch array those runs need; successive runs reuse it with an epoch
+   bump instead of reallocating or clearing, so a full evaluation performs
+   O(1) allocations per domain rather than O(sources) arrays of n ints.
+
+   A vertex [v] is settled in the current run iff [stamp.(v) = epoch];
+   [dist.(v)] is only meaningful under that guard. The frontier at depth
+   [d] is exactly the settled vertices with [dist.(v) = d], which lets the
+   bottom-up sweep test frontier membership with two array reads and no
+   separate frontier bitset to build or clear. *)
+
+type workspace = {
+  mutable cap : int;  (* arrays below are sized for [cap] vertices *)
+  mutable epoch : int;
+  mutable stamp : int array;  (* stamp.(v) = epoch  <=>  v settled *)
+  mutable dist : int array;  (* valid only under the stamp guard *)
+  mutable q_cur : int array;  (* current frontier, as a vertex queue *)
+  mutable q_next : int array;  (* next frontier being produced *)
+  mutable levels : int array;  (* levels.(d) = vertices settled at depth d *)
+  mutable max_level : int;  (* levels valid for 0 .. max_level *)
+  mutable settled : int;  (* total settled, source included *)
+}
+
+let workspace () =
+  {
+    cap = 0;
+    epoch = 0;
+    stamp = [||];
+    dist = [||];
+    q_cur = [||];
+    q_next = [||];
+    levels = [||];
+    max_level = 0;
+    settled = 0;
+  }
+
+let ensure ws n =
+  if ws.cap < n then begin
+    ws.cap <- n;
+    ws.stamp <- Array.make n 0;
+    ws.dist <- Array.make n 0;
+    ws.q_cur <- Array.make n 0;
+    ws.q_next <- Array.make n 0;
+    ws.levels <- Array.make (n + 1) 0;
+    (* Fresh stamps are all 0; restarting the epoch below keeps the
+       guard [stamp.(v) = epoch] false until a vertex is settled. *)
+    ws.epoch <- 0
+  end
+
+(* Beamer-style switching thresholds: expand bottom-up once the frontier's
+   out-edges exceed 1/alpha of the edges still incident to unsettled
+   vertices; fall back to top-down when the frontier shrinks below
+   n/beta. The choice only affects speed — both directions settle the same
+   vertices at the same depths — so distances (and everything derived from
+   them) are identical whichever steps run bottom-up. *)
+let alpha = 14
+let beta = 24
+
+let run ws g ?(max_depth = max_int) src =
+  let n = Graph.n g in
+  if src < 0 || src >= n then invalid_arg "Bfs: source out of range";
+  ensure ws n;
+  ws.epoch <- ws.epoch + 1;
+  let epoch = ws.epoch in
+  let off = Graph.csr_off g and adj = Graph.csr_adj g in
+  let stamp = ws.stamp and dist = ws.dist and levels = ws.levels in
+  let deg v = Array.unsafe_get off (v + 1) - Array.unsafe_get off v in
+  stamp.(src) <- epoch;
+  dist.(src) <- 0;
+  levels.(0) <- 1;
+  ws.max_level <- 0;
+  ws.settled <- 1;
+  let q_cur = ref ws.q_cur and q_next = ref ws.q_next in
+  !q_cur.(0) <- src;
+  let cur_n = ref 1 in
+  (* Directed arcs still incident to unsettled vertices, and the frontier's
+     total out-degree — the two sides of the switching heuristic. *)
+  let edges_rest = ref (off.(n) - deg src) in
+  let scout = ref (deg src) in
+  let bottom_up = ref false in
+  let d = ref 0 in
+  while !cur_n > 0 && !d < max_depth do
+    if !bottom_up then begin
+      if !cur_n * beta < n then bottom_up := false
+    end
+    else if !scout * alpha > !edges_rest then bottom_up := true;
+    let dn = !d + 1 in
+    let next_n = ref 0 and next_scout = ref 0 in
+    let nq = !q_next in
+    if !bottom_up then
+      (* Bottom-up: every unsettled vertex probes its own adjacency for a
+         frontier member and stops at the first hit — on the exploding
+         levels of the broker core this touches a small fraction of the
+         arcs a top-down expansion would. *)
+      for v = 0 to n - 1 do
+        if Array.unsafe_get stamp v <> epoch then begin
+          let i = ref (Array.unsafe_get off v) in
+          let hi = Array.unsafe_get off (v + 1) in
+          let found = ref false in
+          while (not !found) && !i < hi do
+            let w = Array.unsafe_get adj !i in
+            if
+              Array.unsafe_get stamp w = epoch
+              && Array.unsafe_get dist w = !d
+            then found := true
+            else incr i
+          done;
+          if !found then begin
+            Array.unsafe_set stamp v epoch;
+            Array.unsafe_set dist v dn;
+            Array.unsafe_set nq !next_n v;
+            incr next_n;
+            next_scout := !next_scout + deg v
+          end
+        end
+      done
+    else begin
+      let q = !q_cur in
+      for i = 0 to !cur_n - 1 do
+        let u = Array.unsafe_get q i in
+        let lo = Array.unsafe_get off u and hi = Array.unsafe_get off (u + 1) in
+        for j = lo to hi - 1 do
+          let v = Array.unsafe_get adj j in
+          if Array.unsafe_get stamp v <> epoch then begin
+            Array.unsafe_set stamp v epoch;
+            Array.unsafe_set dist v dn;
+            Array.unsafe_set nq !next_n v;
+            incr next_n;
+            next_scout := !next_scout + deg v
+          end
+        done
+      done
+    end;
+    let tmp = !q_cur in
+    q_cur := !q_next;
+    q_next := tmp;
+    cur_n := !next_n;
+    edges_rest := !edges_rest - !next_scout;
+    scout := !next_scout;
+    if !next_n > 0 then begin
+      ws.max_level <- dn;
+      levels.(dn) <- !next_n;
+      ws.settled <- ws.settled + !next_n
+    end;
+    d := dn
+  done;
+  ws.q_cur <- !q_cur;
+  ws.q_next <- !q_next
+
+let max_level ws = ws.max_level
+let reached ws = ws.settled
+
+let level_count ws d =
+  if d < 0 || d > ws.max_level then
+    invalid_arg "Bfs.level_count: level out of range";
+  ws.levels.(d)
+
+let distance ws v =
+  if v < 0 || v >= ws.cap then invalid_arg "Bfs.distance: vertex out of range";
+  if ws.stamp.(v) = ws.epoch then ws.dist.(v) else -1
+
+let distances_into ws out =
+  let k = min (Array.length out) ws.cap in
+  let stamp = ws.stamp and dist = ws.dist and epoch = ws.epoch in
+  for v = 0 to k - 1 do
+    out.(v) <- (if stamp.(v) = epoch then dist.(v) else -1)
+  done;
+  for v = k to Array.length out - 1 do
+    out.(v) <- -1
+  done

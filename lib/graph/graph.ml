@@ -1,5 +1,59 @@
 type t = { n : int; off : int array; adj : int array }
 
+(* In-place ascending sort of [a.(lo) .. a.(hi-1)]: insertion sort for the
+   short segments that dominate adjacency lists, sift-down heapsort above
+   the cutoff (O(len log len) worst case, zero heap allocation). Produces
+   the same order as [Array.sort Int.compare] on the slice — integer keys
+   have a unique sorted arrangement — without the per-segment copy. *)
+let sort_range a lo hi =
+  let len = hi - lo in
+  if len > 1 then begin
+    if len <= 32 then
+      for i = lo + 1 to hi - 1 do
+        let x = a.(i) in
+        let j = ref (i - 1) in
+        while !j >= lo && a.(!j) > x do
+          a.(!j + 1) <- a.(!j);
+          decr j
+        done;
+        a.(!j + 1) <- x
+      done
+    else begin
+      (* Heap over positions lo..hi-1; child of slot k is 2k+1 / 2k+2. *)
+      let sift root last =
+        let r = ref root in
+        let continue = ref true in
+        while !continue do
+          let child = (2 * !r) + 1 in
+          if child > last then continue := false
+          else begin
+            let child =
+              if child < last && a.(lo + child) < a.(lo + child + 1) then
+                child + 1
+              else child
+            in
+            if a.(lo + !r) < a.(lo + child) then begin
+              let tmp = a.(lo + !r) in
+              a.(lo + !r) <- a.(lo + child);
+              a.(lo + child) <- tmp;
+              r := child
+            end
+            else continue := false
+          end
+        done
+      in
+      for root = (len - 2) / 2 downto 0 do
+        sift root (len - 1)
+      done;
+      for last = len - 1 downto 1 do
+        let tmp = a.(lo) in
+        a.(lo) <- a.(lo + last);
+        a.(lo + last) <- tmp;
+        sift 0 (last - 1)
+      done
+    end
+  end
+
 let of_edges ~n edges =
   if n < 0 then invalid_arg "Graph.of_edges: negative n";
   Array.iter
@@ -31,26 +85,29 @@ let of_edges ~n edges =
         cursor.(v) <- cursor.(v) + 1
       end)
     edges;
-  (* Sort each adjacency list and drop duplicates, compacting in place. *)
+  (* Sort each adjacency segment in place and drop duplicates, compacting
+     towards the front. The write cursor never catches up with the read
+     cursor (it only advances on a kept element), so the in-place rewrite
+     is safe; the final copy is skipped when nothing was compacted. *)
   let write = ref 0 in
   let new_off = Array.make (n + 1) 0 in
   for u = 0 to n - 1 do
     let lo = off.(u) and hi = off.(u + 1) in
-    let slice = Array.sub adj lo (hi - lo) in
-    Array.sort Int.compare slice;
+    sort_range adj lo hi;
     new_off.(u) <- !write;
     let prev = ref (-1) in
-    Array.iter
-      (fun v ->
-        if v <> !prev then begin
-          adj.(!write) <- v;
-          incr write;
-          prev := v
-        end)
-      slice
+    for i = lo to hi - 1 do
+      let v = adj.(i) in
+      if v <> !prev then begin
+        adj.(!write) <- v;
+        incr write;
+        prev := v
+      end
+    done
   done;
   new_off.(n) <- !write;
-  { n; off = new_off; adj = Array.sub adj 0 !write }
+  let adj = if !write = Array.length adj then adj else Array.sub adj 0 !write in
+  { n; off = new_off; adj }
 
 let n t = t.n
 let m t = (t.off.(t.n) - t.off.(0)) / 2
@@ -113,3 +170,10 @@ let max_degree t =
 
 let degrees t = Array.init t.n (degree t)
 let is_empty t = t.n = 0
+let csr_off t = t.off
+let csr_adj t = t.adj
+
+let of_csr_unchecked ~n ~off ~adj =
+  if Array.length off <> n + 1 || off.(0) <> 0 || off.(n) <> Array.length adj
+  then invalid_arg "Graph.of_csr_unchecked: malformed offsets";
+  { n; off; adj }

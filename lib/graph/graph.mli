@@ -40,3 +40,23 @@ val degrees : t -> int array
 (** Fresh array of all vertex degrees. *)
 
 val is_empty : t -> bool
+
+val csr_off : t -> int array
+(** The CSR offset array (length [n+1]): vertex [u]'s neighbors occupy
+    [csr_adj] indices [csr_off.(u) .. csr_off.(u+1) - 1]. Read-only view of
+    the graph's own storage — callers must not mutate it. This is the
+    zero-overhead access path for tight traversal kernels
+    ({!Bfs.run} and {!Projected.project}); everything else should go
+    through {!iter_neighbors}. *)
+
+val csr_adj : t -> int array
+(** The CSR adjacency array paired with {!csr_off}. Read-only. *)
+
+val of_csr_unchecked : n:int -> off:int array -> adj:int array -> t
+(** Wrap a prebuilt CSR without re-sorting or deduplicating. The caller
+    promises the invariants {!of_edges} normally establishes: [off] has
+    length [n+1] with [off.(0) = 0] and [off.(n) = Array.length adj]
+    (checked), and each segment is sorted, duplicate-free, self-loop-free
+    and symmetric (trusted). The arrays are owned by the result — do not
+    mutate them afterwards. Used by {!Projected.project}, whose filtering
+    preserves all of these properties from its (already valid) source. *)

@@ -1,0 +1,56 @@
+module B = Broker_util.Bitset
+
+type t = { graph : Graph.t; brokers : B.t; broker_count : int }
+
+let project g ~is_broker =
+  let n = Graph.n g in
+  let off = Graph.csr_off g and adj = Graph.csr_adj g in
+  let brokers = B.create n in
+  let broker_count = ref 0 in
+  for v = 0 to n - 1 do
+    if is_broker v then begin
+      B.add brokers v;
+      incr broker_count
+    end
+  done;
+  (* Counting pass: a broker keeps its whole (already sorted) segment; a
+     non-broker keeps exactly its broker neighbors. *)
+  let poff = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    let lo = off.(u) and hi = off.(u + 1) in
+    let kept =
+      if B.unsafe_mem brokers u then hi - lo
+      else begin
+        let c = ref 0 in
+        for i = lo to hi - 1 do
+          if B.unsafe_mem brokers (Array.unsafe_get adj i) then incr c
+        done;
+        !c
+      end
+    in
+    poff.(u + 1) <- poff.(u) + kept
+  done;
+  (* Fill pass. Filtering a sorted, duplicate-free, symmetric CSR with a
+     symmetric edge predicate preserves all of those invariants, so the
+     result can be wrapped without re-normalizing. *)
+  let padj = Array.make poff.(n) 0 in
+  for u = 0 to n - 1 do
+    let lo = off.(u) and hi = off.(u + 1) in
+    if B.unsafe_mem brokers u then Array.blit adj lo padj poff.(u) (hi - lo)
+    else begin
+      let w = ref poff.(u) in
+      for i = lo to hi - 1 do
+        let v = Array.unsafe_get adj i in
+        if B.unsafe_mem brokers v then begin
+          Array.unsafe_set padj !w v;
+          incr w
+        end
+      done
+    end
+  done;
+  { graph = Graph.of_csr_unchecked ~n ~off:poff ~adj:padj; brokers; broker_count = !broker_count }
+
+let graph t = t.graph
+let is_broker t v = B.mem t.brokers v
+let broker_count t = t.broker_count
+let arcs t = 2 * Graph.m t.graph

@@ -15,6 +15,14 @@ val mem : t -> int -> bool
 val add : t -> int -> unit
 val remove : t -> int -> unit
 
+val unsafe_mem : t -> int -> bool
+(** {!mem} without the bounds check — for hot inner loops whose index is
+    already known to be in [0 .. capacity-1] (e.g. a CSR neighbor id). Out
+    of range is undefined behavior. *)
+
+val unsafe_add : t -> int -> unit
+(** {!add} without the bounds check; same contract as {!unsafe_mem}. *)
+
 val cardinal : t -> int
 (** Number of members; O(words). *)
 

@@ -25,6 +25,22 @@ let chunked ?domains ~n ~worker ~merge init =
     List.fold_left (fun acc h -> merge acc (Domain.join h)) init handles
   end
 
+let strided ?domains ~n ~worker ~merge init =
+  let domains =
+    match domains with Some d -> max 1 d | None -> domain_count ()
+  in
+  if n <= 0 then init
+  else if domains = 1 || n < 4 then merge init (worker ~start:0 ~step:1)
+  else begin
+    let k = min domains n in
+    let handles =
+      List.init k (fun i -> Domain.spawn (fun () -> worker ~start:i ~step:k))
+    in
+    (* Join in stride order: the fold order is fixed, so determinism only
+       needs the merge to be insensitive to how items were partitioned. *)
+    List.fold_left (fun acc h -> merge acc (Domain.join h)) init handles
+  end
+
 let map_array ?domains f arr =
   let n = Array.length arr in
   if n = 0 then [||]

@@ -25,5 +25,25 @@ val chunked :
     from [init]. [worker] must not mutate shared state. Runs sequentially
     when [n] is small or only one domain is available. *)
 
+val strided :
+  ?domains:int ->
+  n:int ->
+  worker:(start:int -> step:int -> 'acc) ->
+  merge:('acc -> 'acc -> 'acc) ->
+  'acc ->
+  'acc
+(** [strided ~n ~worker ~merge init] is {!chunked} with interleaved
+    assignment: domain [i] of [k] processes items [i, i+k, i+2k, ...] (the
+    sequential fallback is [worker ~start:0 ~step:1]), and results merge in
+    stride order. Use it when per-item cost is very uneven — e.g. BFS
+    sources whose traversal size varies by orders of magnitude, where
+    contiguous chunks can leave most domains idle behind one hot chunk.
+
+    Striding changes which items land in which accumulator, so (unlike
+    {!chunked}) bit-identical results across [REPRO_DOMAINS] settings
+    additionally require the per-item accumulation to be commutative and
+    associative — integer counters and histograms qualify, float sums do
+    not. [worker] must not mutate shared state. *)
+
 val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map]; [f] must be pure w.r.t. shared state. *)

@@ -1,0 +1,279 @@
+(* The dominated-path BFS engine: projection correctness, equivalence of
+   the direction-optimizing workspace BFS with the generic filtered BFS,
+   bitwise equality of the engine and reference connectivity curves, and
+   determinism across REPRO_DOMAINS settings. *)
+
+open Helpers
+module G = Broker_graph.Graph
+module Bfs = Broker_graph.Bfs
+module Projected = Broker_graph.Projected
+module Conn = Broker_core.Connectivity
+
+let q ?(count = 60) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let seed_arb = QCheck.int_range 0 100_000
+
+(* A graph together with a random broker set (possibly empty). *)
+let graph_brokers_arb =
+  QCheck.make
+    ~print:(fun (g, brokers) ->
+      Printf.sprintf "<graph n=%d m=%d brokers=%d>" (G.n g) (G.m g)
+        (Array.length brokers))
+    QCheck.Gen.(
+      int_range 2 40 >>= fun n ->
+      int_range 0 80 >>= fun m ->
+      int_range 0 8 >>= fun k ->
+      int_range 0 1_000_000 >|= fun seed ->
+      let rng = Broker_util.Xrandom.create seed in
+      let g = random_graph rng ~n ~m in
+      let brokers =
+        Array.init k (fun _ -> Broker_util.Xrandom.int rng n)
+      in
+      (g, brokers))
+
+(* --- projection ------------------------------------------------------ *)
+
+let projection_barbell () =
+  (* Brokers {2,3}: the bridge and both triangles are dominated, but the
+     far edges 0-1 and 4-5 (no broker endpoint) are dropped. *)
+  let g = barbell_graph () in
+  let proj = Projected.project g ~is_broker:(fun v -> v = 2 || v = 3) in
+  let pg = Projected.graph proj in
+  check_int "same vertex count" (G.n g) (G.n pg);
+  check_int "dominated edges" 5 (G.m pg);
+  check_bool "bridge kept" true (G.mem_edge pg 2 3);
+  check_bool "0-2 kept" true (G.mem_edge pg 0 2);
+  check_bool "0-1 dropped" false (G.mem_edge pg 0 1);
+  check_bool "4-5 dropped" false (G.mem_edge pg 4 5);
+  check_int "broker count" 2 (Projected.broker_count proj);
+  check_int "arcs = 2m" (2 * G.m pg) (Projected.arcs proj)
+
+let projection_empty_and_full () =
+  let g = clique_graph 6 in
+  let none = Projected.graph (Projected.project g ~is_broker:(fun _ -> false)) in
+  check_int "no brokers -> no edges" 0 (G.m none);
+  let all = Projected.graph (Projected.project g ~is_broker:(fun _ -> true)) in
+  check_int "all brokers -> all edges" (G.m g) (G.m all)
+
+let projection_matches_predicate =
+  q "projected edges = dominated edges" graph_brokers_arb (fun (g, brokers) ->
+      let n = G.n g in
+      let is_broker = Conn.of_brokers ~n brokers in
+      let pg = Projected.graph (Projected.project g ~is_broker) in
+      let ok = ref true in
+      (* Every original edge appears in the projection iff dominated; the
+         projection introduces nothing new. *)
+      G.iter_edges g (fun u v ->
+          let dominated = is_broker u || is_broker v in
+          if G.mem_edge pg u v <> dominated then ok := false);
+      G.iter_edges pg (fun u v -> if not (G.mem_edge g u v) then ok := false);
+      !ok)
+
+(* --- workspace BFS vs the generic filtered oracle -------------------- *)
+
+let engine_matches_filtered =
+  (* One workspace reused across every qcheck case and every source: also
+     stresses the epoch/regrow invariants the zero-alloc design rests on. *)
+  let ws = Bfs.workspace () in
+  q "workspace BFS distances = distances_filtered" graph_brokers_arb
+    (fun (g, brokers) ->
+      let n = G.n g in
+      let is_broker = Conn.of_brokers ~n brokers in
+      let edge_ok = Conn.edge_ok ~is_broker in
+      let pg = Projected.graph (Projected.project g ~is_broker) in
+      let got = Array.make n 0 in
+      let ok = ref true in
+      for src = 0 to min 7 (n - 1) do
+        let expect = Bfs.distances_filtered g ~edge_ok src in
+        Bfs.run ws pg src;
+        Bfs.distances_into ws got;
+        if got <> expect then ok := false;
+        (* level counts and reached must agree with the distance array *)
+        let settled = Array.fold_left (fun a d -> if d >= 0 then a + 1 else a) 0 expect in
+        if Bfs.reached ws <> settled then ok := false;
+        for d = 0 to Bfs.max_level ws do
+          let c =
+            Array.fold_left (fun a x -> if x = d then a + 1 else a) 0 expect
+          in
+          if Bfs.level_count ws d <> c then ok := false
+        done
+      done;
+      !ok)
+
+let engine_unrestricted_matches_plain =
+  let ws = Bfs.workspace () in
+  q "workspace BFS on raw graph = distances" graph_arbitrary (fun g ->
+      let n = G.n g in
+      let got = Array.make n 0 in
+      let ok = ref true in
+      for src = 0 to min 5 (n - 1) do
+        Bfs.run ws g src;
+        Bfs.distances_into ws got;
+        if got <> Broker_graph.Bfs.distances g src then ok := false
+      done;
+      !ok)
+
+let engine_max_depth =
+  let ws = Bfs.workspace () in
+  q ~count:40 "workspace BFS respects max_depth" graph_arbitrary (fun g ->
+      let n = G.n g in
+      let got = Array.make n 0 in
+      let ok = ref true in
+      List.iter
+        (fun md ->
+          Bfs.run ws g ~max_depth:md 0;
+          Bfs.distances_into ws got;
+          if got <> Bfs.distances_bounded g ~max_depth:md 0 then ok := false)
+        [ 0; 1; 2; 3 ];
+      !ok)
+
+let engine_source_out_of_range () =
+  let ws = Bfs.workspace () in
+  let g = path_graph 4 in
+  Alcotest.check_raises "negative source"
+    (Invalid_argument "Bfs: source out of range") (fun () ->
+      Bfs.run ws g (-1));
+  Alcotest.check_raises "source too large"
+    (Invalid_argument "Bfs: source out of range") (fun () -> Bfs.run ws g 4)
+
+(* --- Bfs.generic validates all sources before mutating --------------- *)
+
+let generic_validates_sources_upfront () =
+  let g = path_graph 5 in
+  Alcotest.check_raises "bad source in multi-source list"
+    (Invalid_argument "Bfs: source out of range") (fun () ->
+      ignore (Bfs.distances_multi g [ 0; 2; 99 ]));
+  (* The same traversal without the bad source still works — and a caller
+     that catches the exception observes no partially-run state because
+     validation happens before any mutation. *)
+  let d = Bfs.distances_multi g [ 0; 2 ] in
+  check_int "multi-source still correct" 1 d.(3)
+
+(* --- connectivity: engine = reference, bitwise ----------------------- *)
+
+let curves_equal (a : Conn.curve) (b : Conn.curve) =
+  a.Conn.l_max = b.Conn.l_max
+  && a.Conn.per_hop = b.Conn.per_hop
+  && a.Conn.saturated = b.Conn.saturated
+
+let eval_matches_reference =
+  q ~count:40 "Connectivity.eval = reference oracle (bitwise)"
+    graph_brokers_arb
+    (fun (g, brokers) ->
+      let n = G.n g in
+      let is_broker = Conn.of_brokers ~n brokers in
+      let sources = Array.init (min 12 n) (fun i -> i) in
+      let engine = Conn.eval_sources ~l_max:6 g ~is_broker sources in
+      let oracle = Conn.eval_sources_reference ~l_max:6 g ~is_broker sources in
+      curves_equal engine oracle)
+
+let exact_matches_reference () =
+  let t = small_internet ~seed:5 ~scale:0.008 () in
+  let g = t.Broker_topo.Topology.graph in
+  let n = G.n g in
+  let brokers = Broker_core.Maxsg.run g ~k:12 in
+  let is_broker = Conn.of_brokers ~n brokers in
+  let engine = Conn.exact ~l_max:8 g ~is_broker in
+  let oracle =
+    Conn.eval_sources_reference ~l_max:8 g ~is_broker
+      (Array.init n (fun i -> i))
+  in
+  check_bool "exact curve bitwise equal" true (curves_equal engine oracle)
+
+(* --- determinism across REPRO_DOMAINS -------------------------------- *)
+
+let with_domains v f =
+  let saved = Sys.getenv_opt "REPRO_DOMAINS" in
+  Unix.putenv "REPRO_DOMAINS" v;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "REPRO_DOMAINS" (Option.value ~default:"" saved))
+    f
+
+let deterministic_across_domains () =
+  let t = small_internet ~seed:9 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let n = G.n g in
+  let brokers = Broker_core.Maxsg.run g ~k:16 in
+  let is_broker = Conn.of_brokers ~n brokers in
+  let sources = Array.init (min 64 n) (fun i -> i) in
+  let run () = Conn.eval_sources ~l_max:10 g ~is_broker sources in
+  let c1 = with_domains "1" run in
+  let c4 = with_domains "4" run in
+  check_bool "REPRO_DOMAINS=1 = REPRO_DOMAINS=4" true (curves_equal c1 c4);
+  let oracle =
+    with_domains "4" (fun () ->
+        Conn.eval_sources_reference ~l_max:10 g ~is_broker sources)
+  in
+  check_bool "engine = oracle under domains" true (curves_equal c1 oracle)
+
+(* --- Graph.of_edges in-place construction ---------------------------- *)
+
+let of_edges_matches_naive =
+  q ~count:80 "of_edges: in-place sort/dedup matches naive construction"
+    QCheck.(pair seed_arb (pair (int_range 1 30) (int_range 0 120)))
+    (fun (seed, (n, m)) ->
+      let rng = Broker_util.Xrandom.create seed in
+      (* Raw edges with self-loops and duplicates in both orientations. *)
+      let edges =
+        Array.init m (fun _ ->
+            (Broker_util.Xrandom.int rng n, Broker_util.Xrandom.int rng n))
+      in
+      let g = G.of_edges ~n edges in
+      let naive u =
+        Array.to_list edges
+        |> List.concat_map (fun (a, b) ->
+               if a = u && b <> u then [ b ]
+               else if b = u && a <> u then [ a ]
+               else [])
+        |> List.sort_uniq Int.compare
+      in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if Array.to_list (G.neighbors g u) <> naive u then ok := false
+      done;
+      !ok)
+
+let of_edges_hub_segment () =
+  (* A hub of degree > the insertion-sort cutoff, fed in descending order
+     with duplicates: exercises the heapsort path of the range sort. *)
+  let spokes = Array.init 100 (fun i -> (0, 100 - i)) in
+  let dups = Array.init 50 (fun i -> ((2 * i) + 1, 0)) in
+  let g = G.of_edges ~n:101 (Array.append spokes dups) in
+  check_int "hub degree" 100 (G.degree g 0);
+  let nb = G.neighbors g 0 in
+  check_bool "hub adjacency sorted" true
+    (Array.for_all Fun.id (Array.init 99 (fun i -> nb.(i) < nb.(i + 1))))
+
+let suite =
+  [
+    ( "bfs_engine.projection",
+      [
+        Alcotest.test_case "barbell projection" `Quick projection_barbell;
+        Alcotest.test_case "empty/full broker sets" `Quick projection_empty_and_full;
+        projection_matches_predicate;
+      ] );
+    ( "bfs_engine.workspace",
+      [
+        engine_matches_filtered;
+        engine_unrestricted_matches_plain;
+        engine_max_depth;
+        Alcotest.test_case "source validation" `Quick engine_source_out_of_range;
+        Alcotest.test_case "generic validates sources upfront" `Quick
+          generic_validates_sources_upfront;
+      ] );
+    ( "bfs_engine.connectivity",
+      [
+        eval_matches_reference;
+        Alcotest.test_case "exact = reference at small scale" `Quick
+          exact_matches_reference;
+        Alcotest.test_case "deterministic across REPRO_DOMAINS" `Quick
+          deterministic_across_domains;
+      ] );
+    ( "bfs_engine.graph_build",
+      [
+        of_edges_matches_naive;
+        Alcotest.test_case "hub segment heapsort" `Quick of_edges_hub_segment;
+      ] );
+  ]
