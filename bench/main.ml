@@ -18,21 +18,7 @@
    REPRO_SEED (default 42) — see Broker_experiments.Ctx. *)
 
 module E = Broker_experiments
-
-let silently f =
-  (* Bechamel iterates the experiment kernels; their table output would
-     flood the report, so stdout is parked on /dev/null for the call. *)
-  flush stdout;
-  let saved = Unix.dup Unix.stdout in
-  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
-  Unix.dup2 devnull Unix.stdout;
-  Unix.close devnull;
-  Fun.protect
-    ~finally:(fun () ->
-      flush stdout;
-      Unix.dup2 saved Unix.stdout;
-      Unix.close saved)
-    f
+module Report_text = Broker_report.Report_text
 
 (* Timing kernels run on a small fixed-scale context so each iteration is
    milliseconds; the correctness-bearing full-scale run happens above. *)
@@ -45,9 +31,10 @@ let experiment_tests () =
       Test.make ~name:e.E.All.id
         (Staged.stage (fun () ->
              (* Fresh context per iteration: the timing covers the whole
-                regeneration including topology generation. *)
+                regeneration including topology generation. Reports are
+                built but not rendered — experiments no longer print. *)
              let ctx = bench_ctx () in
-             silently (fun () -> e.E.All.run ctx))))
+             ignore (e.E.All.report ctx))))
     E.All.experiments
 
 (* The legacy/projected pair must time the exact same evaluation (same
@@ -371,12 +358,23 @@ let () =
         (E.Ctx.scale ctx) (E.Ctx.sources ctx) (E.Ctx.seed ctx)
         (List.length E.All.experiments);
       match ids with
-      | [] -> E.All.run_all ctx
+      | [] ->
+          (* Stream each report as it completes so long runs stay
+             observable; text output is byte-identical to the historical
+             print-as-you-go harness. *)
+          ignore
+            (E.All.run_all
+               ~emit:(fun _ r ->
+                 Report_text.print r;
+                 Report_text.flush ())
+               ctx)
       | ids ->
           List.iter
             (fun id ->
               match E.All.run_one ctx id with
-              | Ok () -> ()
+              | Ok r ->
+                  Report_text.print r;
+                  Report_text.flush ()
               | Error msg ->
                   prerr_endline msg;
                   exit 2)

@@ -353,10 +353,18 @@ let bgp_stats_cmd =
     Term.(const bgp_stats $ topo_arg $ destinations $ seed_arg)
 
 (* experiment *)
+module Report = Broker_report.Report
+module Report_text = Broker_report.Report_text
+module Report_json = Broker_report.Report_json
+module Report_csv = Broker_report.Report_csv
+module Report_diff = Broker_report.Report_diff
+
 let experiment id =
   let ctx = Broker_experiments.Ctx.from_env () in
   match Broker_experiments.All.run_one ctx id with
-  | Ok () -> ()
+  | Ok r ->
+      Report_text.print r;
+      Report_text.flush ()
   | Error msg ->
       prerr_endline msg;
       exit 2
@@ -369,6 +377,154 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Run a paper reproduction (env: REPRO_SCALE, REPRO_SOURCES, REPRO_SEED)")
     Term.(const experiment $ id)
+
+(* list *)
+let list_experiments () =
+  Printf.printf "%-18s %-16s %s\n" "ID" "ARTIFACT" "DESCRIPTION";
+  List.iter
+    (fun (e : Broker_experiments.All.experiment) ->
+      Printf.printf "%-18s %-16s %s\n" e.id e.artifact e.description)
+    Broker_experiments.All.experiments
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List the experiment registry (id, paper artifact, description)")
+    Term.(const list_experiments $ const ())
+
+(* run *)
+let write_file ~regen path contents =
+  if (not regen) && Sys.file_exists path then begin
+    Printf.eprintf
+      "refusing to overwrite %s (pass --regen to regenerate artifacts)\n" path;
+    exit 1
+  end;
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let run_suite format out regen ids =
+  let ctx = Broker_experiments.Ctx.from_env () in
+  let selected =
+    match ids with
+    | [] -> Broker_experiments.All.experiments
+    | ids ->
+        List.map
+          (fun id ->
+            match Broker_experiments.All.find id with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S (see brokerctl list)\n" id;
+                exit 2)
+          ids
+  in
+  (match out with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
+  let emit (e : Broker_experiments.All.experiment) r =
+    match (format, out) with
+    | "text", None ->
+        Report_text.print r;
+        Report_text.flush ()
+    | "text", Some dir ->
+        write_file ~regen (Filename.concat dir (e.id ^ ".txt"))
+          (Format.asprintf "%a" Report_text.pp r)
+    | "json", None -> print_endline (Report_json.to_string r)
+    | "json", Some dir ->
+        write_file ~regen (Filename.concat dir (e.id ^ ".json"))
+          (Report_json.to_string r ^ "\n")
+    | "csv", dir ->
+        let dir = match dir with Some d -> d | None -> "." in
+        List.iter
+          (fun (name, contents) ->
+            write_file ~regen (Filename.concat dir name) contents)
+          (Report_csv.files r)
+    | _ -> assert false
+  in
+  List.iter (fun e -> emit e (Broker_experiments.All.report_of ctx e)) selected
+
+let run_cmd =
+  let format =
+    let alts = [ "text"; "json"; "csv" ] in
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) alts)) "text"
+      & info [ "format" ] ~doc:"Output backend: text, json or csv.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR"
+           ~doc:"Write one artifact file per experiment into $(docv) instead of stdout.")
+  in
+  let regen =
+    Arg.(value & flag & info [ "regen" ] ~doc:"Overwrite existing artifact files.")
+  in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID"
+           ~doc:"Experiment ids to run (default: the whole suite, in registry order).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run the reproduction suite through a report backend \
+             (env: REPRO_SCALE, REPRO_SOURCES, REPRO_SEED)")
+    Term.(const run_suite $ format $ out $ regen $ ids)
+
+(* report diff *)
+let parse_tol spec =
+  match String.index_opt spec '=' with
+  | Some i ->
+      let key = String.sub spec 0 i in
+      let v = String.sub spec (i + 1) (String.length spec - i - 1) in
+      (match float_of_string_opt v with
+      | Some eps -> (key, eps)
+      | None -> Printf.eprintf "bad --tol %S: epsilon is not a float\n" spec; exit 2)
+  | None -> (
+      (* A bare float is a global tolerance (empty key prefix). *)
+      match float_of_string_opt spec with
+      | Some eps -> ("", eps)
+      | None ->
+          Printf.eprintf "bad --tol %S: expected KEY=EPS or a bare float\n" spec;
+          exit 2)
+
+let load_report path =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    with Sys_error msg ->
+      prerr_endline msg;
+      exit 2
+  in
+  match Report_json.of_string contents with
+  | Ok r -> r
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" path msg;
+      exit 2
+
+let report_diff a_path b_path tol_specs =
+  let tols = List.map parse_tol tol_specs in
+  let a = load_report a_path and b = load_report b_path in
+  let outcome = Report_diff.compare ~tols a b in
+  Format.printf "%a@." Report_diff.pp outcome;
+  if not (Report_diff.ok outcome) then exit 1
+
+let report_diff_cmd =
+  let a = Arg.(required & pos 0 (some string) None & info [] ~docv:"A.json" ~doc:"Baseline report.") in
+  let b = Arg.(required & pos 1 (some string) None & info [] ~docv:"B.json" ~doc:"Candidate report.") in
+  let tols =
+    Arg.(value & opt_all string [] & info [ "tol" ] ~docv:"KEY=EPS"
+           ~doc:"Numeric tolerance for keys starting with KEY (longest prefix \
+                 wins; a bare float sets the global default).")
+  in
+  Cmd.v
+    (Cmd.info "diff" ~doc:"Compare two JSON reports; exit 1 on drift")
+    Term.(const report_diff $ a $ b $ tols)
+
+let report_cmd =
+  Cmd.group
+    (Cmd.info "report" ~doc:"Operations on serialized experiment reports")
+    [ report_diff_cmd ]
 
 let () =
   let info =
@@ -388,4 +544,7 @@ let () =
             resilience_cmd;
             bgp_stats_cmd;
             experiment_cmd;
+            list_cmd;
+            run_cmd;
+            report_cmd;
           ]))

@@ -5,7 +5,7 @@ type t = {
   graph : G.t;
   broker : Bitset.t;
   covered_set : Bitset.t;
-  mutable order : int list;  (* reverse insertion order *)
+  mutable order : int array;  (* insertion order; first [n_brokers] live *)
   mutable n_brokers : int;
   mutable n_covered : int;
 }
@@ -16,7 +16,7 @@ let create graph =
     graph;
     broker = Bitset.create n;
     covered_set = Bitset.create n;
-    order = [];
+    order = [||];
     n_brokers = 0;
     n_covered = 0;
   }
@@ -24,16 +24,10 @@ let create graph =
 let graph t = t.graph
 let f t = t.n_covered
 let size t = t.n_brokers
-
-let brokers t =
-  let arr = Array.make t.n_brokers 0 in
-  let i = ref (t.n_brokers - 1) in
-  List.iter
-    (fun v ->
-      arr.(!i) <- v;
-      decr i)
-    t.order;
-  arr
+let brokers t = Array.sub t.order 0 t.n_brokers
+let nth_broker t i =
+  if i < 0 || i >= t.n_brokers then invalid_arg "Coverage.nth_broker";
+  t.order.(i)
 
 let is_broker t v = Bitset.mem t.broker v
 let is_covered t v = Bitset.mem t.covered_set v
@@ -45,10 +39,19 @@ let gain t v =
       if not (Bitset.mem t.covered_set w) then incr acc);
   !acc
 
+let push_order t v =
+  let cap = Array.length t.order in
+  if t.n_brokers = cap then begin
+    let grown = Array.make (max 8 (2 * cap)) 0 in
+    Array.blit t.order 0 grown 0 t.n_brokers;
+    t.order <- grown
+  end;
+  t.order.(t.n_brokers) <- v
+
 let add t v =
   if not (Bitset.mem t.broker v) then begin
     Bitset.add t.broker v;
-    t.order <- v :: t.order;
+    push_order t v;
     t.n_brokers <- t.n_brokers + 1;
     if not (Bitset.mem t.covered_set v) then begin
       Bitset.add t.covered_set v;

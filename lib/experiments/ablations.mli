@@ -1,15 +1,14 @@
 (** Ablations of the reproduction's own design choices (DESIGN.md §6). *)
 
-val celf_vs_naive : Ctx.t -> unit
+val celf_vs_naive : Ctx.t -> Broker_report.Report.t
 (** Identical outputs, gain-evaluation counts and wall-clock of the two
-    Algorithm 1 implementations on a mid-size topology. *)
+    Algorithm 1 implementations on a mid-size topology. The timing cells
+    are volatile ({!Broker_report.Report.seconds}): rendered in text but
+    excluded from regression diffs. *)
 
-val beta_sweep : Ctx.t -> unit
+val beta_sweep : Ctx.t -> Broker_report.Report.t
 (** Algorithm 2's coverage/connector split and resulting connectivity as
     the assumed β varies, plus single-root vs all-roots connector search. *)
 
-val sampling_accuracy : Ctx.t -> unit
+val sampling_accuracy : Ctx.t -> Broker_report.Report.t
 (** Sampled-vs-exact connectivity deviation as the source budget grows. *)
-
-val run : Ctx.t -> unit
-(** All three. *)

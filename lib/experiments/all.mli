@@ -1,12 +1,39 @@
-(** Run every table/figure reproduction in paper order. *)
+(** Registry of every table/figure reproduction, in paper order.
 
-type experiment = { id : string; description : string; run : Ctx.t -> unit }
+    Each experiment builds a {!Broker_report.Report.t}; the caller picks a
+    backend ({!Broker_report.Report_text} reproduces the historical
+    terminal output byte for byte). *)
+
+type experiment = {
+  id : string;  (** registry key, lowercase (["table1"], ["fig2b"], ...) *)
+  description : string;  (** one-line summary for [brokerctl list] *)
+  artifact : string;
+      (** the paper artifact reproduced (["Table 1"], ["Fig. 2b"], ...) or
+          ["ablation"] / ["extension"] for the repo's own studies *)
+  report : Ctx.t -> Broker_report.Report.t;
+}
 
 val experiments : experiment list
-(** In presentation order: T1-T5, F1-F6, econ, ablations. *)
+(** In presentation order: T1-T5, F1-F6, econ, ablations, extensions. *)
 
 val find : string -> experiment option
 (** Lookup by id (case-insensitive), e.g. ["table1"], ["fig2b"]. *)
 
-val run_all : Ctx.t -> unit
-val run_one : Ctx.t -> string -> (unit, string) Stdlib.result
+val run_meta : Ctx.t -> (string * float) list
+(** The run-parameter meta block ([scale]/[sources]/[seed]) the runners
+    attach to every report. *)
+
+val report_of : Ctx.t -> experiment -> Broker_report.Report.t
+(** Build one experiment's report on the shared context, with the
+    {!run_meta} block attached. *)
+
+val run_all :
+  ?emit:(experiment -> Broker_report.Report.t -> unit) ->
+  Ctx.t ->
+  (string * Broker_report.Report.t) list
+(** Run every experiment on the shared context, returning [(id, report)]
+    pairs in registry order. [emit] is called after each experiment
+    completes — use it to stream text output progressively on long runs. *)
+
+val run_one :
+  Ctx.t -> string -> (Broker_report.Report.t, string) Stdlib.result

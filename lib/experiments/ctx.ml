@@ -147,17 +147,3 @@ let free_curve t =
       let c = eval_curve t ~l_max:10 ~is_broker:Broker_core.Connectivity.unrestricted in
       t.free <- Some c;
       c
-
-(* All experiment reports funnel through one redirectable formatter so
-   library code never touches stdout directly (brokerlint: no-stdout-in-lib)
-   and harnesses can capture a run into a buffer or file. *)
-let out_ppf = ref Format.std_formatter
-let set_out ppf = out_ppf := ppf
-let out () = !out_ppf
-let printf fmt = Format.fprintf !out_ppf fmt
-let table t = printf "%s" (Broker_util.Table.render t)
-let flush_out () = Format.pp_print_flush !out_ppf ()
-
-let section title =
-  let bar = String.make 72 '=' in
-  printf "\n%s\n%s\n%s\n" bar title bar

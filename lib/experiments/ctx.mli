@@ -59,25 +59,7 @@ val quick_saturated : t -> brokers:int array -> float
 val free_curve : t -> Broker_core.Connectivity.curve
 (** Unrestricted ("ASesWithIXPs") curve, cached. *)
 
-val out : unit -> Format.formatter
-(** The formatter experiment reports are written to ({!Format.std_formatter}
-    unless {!set_out} changed it). *)
-
-val set_out : Format.formatter -> unit
-(** Redirect all experiment output (tables, banners, {!printf}) — e.g. into
-    a buffer for tests or a per-run log file. *)
-
-val printf : ('a, Format.formatter, unit) format -> 'a
-(** [Format.fprintf] on the current output formatter. All experiment text
-    goes through this instead of [Printf.printf]: library code must not
-    write to stdout directly (see HACKING.md, "Static analysis"). *)
-
-val table : Broker_util.Table.t -> unit
-(** Render a table to the current output formatter. *)
-
-val flush_out : unit -> unit
-(** Flush the current output formatter (called between experiments so
-    channel- and formatter-level output interleave correctly). *)
-
-val section : string -> unit
-(** Print a section banner. *)
+(** Note: [Ctx] carries no output state. Experiments build a
+    {!Broker_report.Report.t} and the harness picks a backend
+    ({!Broker_report.Report_text} for the terminal, [Report_json] /
+    [Report_csv] for artifacts). *)

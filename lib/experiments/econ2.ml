@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
 type result = {
   players : int;
@@ -70,32 +70,44 @@ let compute ?(players = 10) ctx =
     supermodularity_break = Broker_econ.Coalition.supermodularity_break values;
   }
 
-let run ctx =
-  Ctx.section "Sec 7.2 - Shapley revenue division and coalition stability";
+let report ctx =
+  let rep = Report.create ~name:"econ2" () in
+  let s =
+    Report.section rep "Sec 7.2 - Shapley revenue division and coalition stability"
+  in
   let r = compute ctx in
-  let t = Table.create ~headers:[ "Broker"; "Shapley share" ] in
+  let t =
+    Report.table s ~columns:[ Report.col "Broker"; Report.col "Shapley share" ] ()
+  in
   Array.iteri
     (fun j phi ->
-      Table.add_row t
-        [ Printf.sprintf "#%d" (j + 1); Printf.sprintf "%.5f" phi ])
+      Report.row t
+        [ Report.strf "#%d" (j + 1); Report.float ~decimals:5 phi ])
     r.shapley;
-  Ctx.table t;
-  let pp_check name (c : Broker_econ.Coalition.check) =
-    Ctx.printf "%s: %s (%d violations / %d trials)\n" name
+  let pp_check name key (c : Broker_econ.Coalition.check) =
+    Report.metricf s ~key
+      (float_of_int c.Broker_econ.Coalition.violations)
+      "%s: %s (%d violations / %d trials)\n" name
       (if c.Broker_econ.Coalition.holds then "holds" else "VIOLATED")
       c.Broker_econ.Coalition.violations c.Broker_econ.Coalition.trials
   in
-  Ctx.printf "Efficiency gap |sum phi - v(N)|: %.2e\n" r.efficiency_gap;
-  pp_check "Superadditivity (Thm 7 hypothesis)" r.superadditive;
-  pp_check "Supermodularity (Thm 8 hypothesis)" r.supermodular;
-  Ctx.printf
+  Report.metricf s ~key:"efficiency_gap" r.efficiency_gap
+    "Efficiency gap |sum phi - v(N)|: %.2e\n" r.efficiency_gap;
+  pp_check "Superadditivity (Thm 7 hypothesis)" "superadditive.violations"
+    r.superadditive;
+  pp_check "Supermodularity (Thm 8 hypothesis)" "supermodular.violations"
+    r.supermodular;
+  Report.note s
     "(the paper predicts supermodularity holds early and breaks once the important ASes are in)\n";
-  Ctx.printf "Individual rationality phi_j >= v({j}): %b\n"
+  Report.notef s "Individual rationality phi_j >= v({j}): %b\n"
     r.individually_rational;
-  pp_check "Group rationality (core membership)" r.group_rational;
+  pp_check "Group rationality (core membership)" "group_rational.violations"
+    r.group_rational;
   (match r.supermodularity_break with
   | Some i ->
-      Ctx.printf
+      Report.metricf s ~key:"supermodularity_break" (float_of_int (i + 1))
         "Marginal contribution starts decaying at broker #%d - the paper's signal to stop growing B.\n"
         (i + 1)
-  | None -> Ctx.printf "Marginal contributions never decayed (graph too small).\n")
+  | None ->
+      Report.note s "Marginal contributions never decayed (graph too small).\n");
+  rep

@@ -22,4 +22,4 @@ type result = {
 }
 
 val compute : ?players:int -> Ctx.t -> result
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 module X = Broker_util.Xrandom
 module Sim = Broker_sim.Simulator
 module Faults = Broker_sim.Faults
@@ -81,32 +81,40 @@ let compute ?(n_sessions = 4000) ctx =
         keeps)
     [ 100; 1000; 3540 ]
 
-let run ctx =
-  Ctx.section "Extension - chaos brokerage: failures, failover, availability";
+let report ctx =
+  let rep = Report.create ~name:"ext_chaos" () in
+  let s =
+    Report.section rep "Extension - chaos brokerage: failures, failover, availability"
+  in
   let rows = compute ctx in
   let t =
-    Table.create
-      ~headers:
+    Report.table s ~key:"sweep"
+      ~columns:
         [
-          "k"; "Fault rate"; "Availability"; "Delivered (failover)";
-          "Delivered (no failover)"; "Failed over"; "Dropped (no fo)";
+          Report.col "k";
+          Report.col "Fault rate";
+          Report.col "Availability";
+          Report.col "Delivered (failover)";
+          Report.col "Delivered (no failover)";
+          Report.col "Failed over";
+          Report.col "Dropped (no fo)";
         ]
+      ()
   in
   List.iter
     (fun r ->
-      Table.add_row t
+      Report.row t
         [
-          Table.cell_int r.k;
-          Printf.sprintf "%.2fx" r.keep;
-          Table.cell_pct r.availability;
-          Table.cell_pct r.delivered_on;
-          Table.cell_pct r.delivered_off;
-          Table.cell_int r.failed_over;
-          Table.cell_int r.dropped_off;
+          Report.int r.k;
+          Report.strf "%.2fx" r.keep;
+          Report.pct r.availability;
+          Report.pct r.delivered_on;
+          Report.pct r.delivered_off;
+          Report.int r.failed_over;
+          Report.int r.dropped_off;
         ])
     rows;
-  Ctx.table t;
-  Ctx.printf
+  Report.note s
     "Fault rate is the kept fraction of a max-rate per-broker failure\nprocess (MTBF = horizon/8, MTTR = 20). Failover reroutes in-flight\nsessions of a crashed broker onto alternate dominated paths.\n";
   (* Circuit-breaker ablation under deliberate overload: tight uniform
      capacity so the hub brokers sit above the high-water mark. *)
@@ -128,33 +136,38 @@ let run ctx =
   in
   let config = Sim.uniform_capacity 12.0 in
   let bt =
-    Table.create
-      ~headers:
+    Report.table s ~key:"breaker"
+      ~columns:
         [
-          "Breaker"; "Admitted"; "Shed"; "No capacity"; "Mean util";
-          "Net revenue";
+          Report.col "Breaker";
+          Report.col "Admitted";
+          Report.col "Shed";
+          Report.col "No capacity";
+          Report.col "Mean util";
+          Report.col "Net revenue";
         ]
+      ()
   in
   List.iter
     (fun (label, breaker) ->
       let chaos =
         { (Sim.default_chaos [||]) with Sim.retry = Sim.no_retry; breaker }
       in
-      let s = Sim.run ~chaos topo ~brokers ~sessions config in
-      Table.add_row bt
+      let sr = Sim.run ~chaos topo ~brokers ~sessions config in
+      Report.row bt
         [
-          label;
-          Table.cell_pct s.Sim.admission_rate;
-          Table.cell_int s.Sim.rejected_shed;
-          Table.cell_int s.Sim.rejected_capacity;
-          Table.cell_pct s.Sim.mean_broker_utilization;
-          Printf.sprintf "%.0f" s.Sim.revenue;
+          Report.str label;
+          Report.pct sr.Sim.admission_rate;
+          Report.int sr.Sim.rejected_shed;
+          Report.int sr.Sim.rejected_capacity;
+          Report.pct sr.Sim.mean_broker_utilization;
+          Report.float ~decimals:0 sr.Sim.revenue;
         ])
     [
       ("off", None);
       ( "on",
         Some { Sim.high_water = 0.7; trip_after = 2.0; cooldown = 10.0 } );
     ];
-  Ctx.table bt;
-  Ctx.printf
-    "Breaker: a broker whose utilization stays >= 70%% for 2 time units\nsheds arrivals for 10 units, trading admitted sessions for headroom\non the saturated hubs.\n"
+  Report.note s
+    "Breaker: a broker whose utilization stays >= 70% for 2 time units\nsheds arrivals for 10 units, trading admitted sessions for headroom\non the saturated hubs.\n";
+  rep

@@ -25,4 +25,4 @@ val compute : ?n_sessions:int -> Ctx.t -> row list
 (** Rows grouped by k (in {!keeps} order within each k). Deterministic in
     the context's seed. *)
 
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

@@ -1,7 +1,10 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
-let run ctx =
-  Ctx.section "Extension - flow-level brokerage simulation + latency stretch";
+let report ctx =
+  let rep = Report.create ~name:"ext_sim" () in
+  let s =
+    Report.section rep "Extension - flow-level brokerage simulation + latency stretch"
+  in
   (* Simulation scale is capped: per-session path queries on the full graph
      would dominate runtime without changing the story. *)
   let sim_scale = Float.min (Ctx.scale ctx) 0.05 in
@@ -15,29 +18,34 @@ let run ctx =
       Broker_sim.Workload.default_params
   in
   let t =
-    Table.create
-      ~headers:
+    Report.table s
+      ~columns:
         [
-          "Capacity factor"; "Admitted"; "No path"; "No capacity";
-          "Mean hops"; "Utilization"; "Net revenue";
+          Report.col "Capacity factor";
+          Report.col "Admitted";
+          Report.col "No path";
+          Report.col "No capacity";
+          Report.col "Mean hops";
+          Report.col "Utilization";
+          Report.col "Net revenue";
         ]
+      ()
   in
   List.iter
     (fun factor ->
       let config = Broker_sim.Simulator.degree_capacity g ~factor in
-      let s = Broker_sim.Simulator.run topo ~brokers ~sessions config in
-      Table.add_row t
+      let sr = Broker_sim.Simulator.run topo ~brokers ~sessions config in
+      Report.row t
         [
-          Printf.sprintf "%.2f" factor;
-          Table.cell_pct s.Broker_sim.Simulator.admission_rate;
-          Table.cell_int s.Broker_sim.Simulator.rejected_no_path;
-          Table.cell_int s.Broker_sim.Simulator.rejected_capacity;
-          Table.cell_float s.Broker_sim.Simulator.mean_hops;
-          Table.cell_pct s.Broker_sim.Simulator.mean_broker_utilization;
-          Printf.sprintf "%.0f" s.Broker_sim.Simulator.revenue;
+          Report.float factor;
+          Report.pct sr.Broker_sim.Simulator.admission_rate;
+          Report.int sr.Broker_sim.Simulator.rejected_no_path;
+          Report.int sr.Broker_sim.Simulator.rejected_capacity;
+          Report.float sr.Broker_sim.Simulator.mean_hops;
+          Report.pct sr.Broker_sim.Simulator.mean_broker_utilization;
+          Report.float ~decimals:0 sr.Broker_sim.Simulator.revenue;
         ])
     [ 0.05; 0.1; 0.25; 0.5; 1.0 ];
-  Ctx.table t;
   (* Latency stretch of broker paths vs free min-latency paths. *)
   let lat = Broker_routing.Latency.assign ~rng:(Ctx.rng ctx) topo in
   let n = Broker_graph.Graph.n g in
@@ -50,14 +58,17 @@ let run ctx =
     let src = Broker_util.Xrandom.int rng n and dst = Broker_util.Xrandom.int rng n in
     if src <> dst then
       match Broker_routing.Latency.stretch lat topo ~is_broker ~src ~dst with
-      | Some s -> stretches := s :: !stretches
+      | Some st -> stretches := st :: !stretches
       | None -> ()
   done;
   let arr = Array.of_list !stretches in
   if Array.length arr > 0 then begin
-    let s = Broker_util.Stats.summarize arr in
-    Ctx.printf
+    let st = Broker_util.Stats.summarize arr in
+    Report.metric s ~key:"stretch.median" st.Broker_util.Stats.p50;
+    Report.metric s ~key:"stretch.p90" st.Broker_util.Stats.p90;
+    Report.metricf s ~key:"stretch.mean" st.Broker_util.Stats.mean
       "Latency stretch of dominated paths vs free min-latency paths over %d pairs:\nmean %.3f, median %.3f, p90 %.3f (1.0 = no inflation).\n"
-      s.Broker_util.Stats.n s.Broker_util.Stats.mean s.Broker_util.Stats.p50
-      s.Broker_util.Stats.p90
-  end
+      st.Broker_util.Stats.n st.Broker_util.Stats.mean st.Broker_util.Stats.p50
+      st.Broker_util.Stats.p90
+  end;
+  rep

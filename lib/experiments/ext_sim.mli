@@ -3,4 +3,4 @@
     control, swept over the capacity provisioning factor; plus the latency
     view of Table 4's "minimal path inflation" claim. *)
 
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

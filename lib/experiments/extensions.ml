@@ -1,9 +1,12 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 module Conn = Broker_core.Connectivity
 module G = Broker_graph.Graph
 
 let resilience ctx =
-  Ctx.section "Extension - broker failure resilience (random vs targeted)";
+  let rep = Report.create ~name:"ext_resilience" () in
+  let s =
+    Report.section rep "Extension - broker failure resilience (random vs targeted)"
+  in
   let g = Ctx.graph ctx in
   let order = Ctx.maxsg_order ctx in
   let k = min (Ctx.scale_count ctx 1000) (Array.length order) in
@@ -20,30 +23,47 @@ let resilience ctx =
   let random = run Broker_core.Resilience.Random in
   let targeted = run Broker_core.Resilience.Targeted in
   let t =
-    Table.create ~headers:[ "Failed %"; "Random failures"; "Targeted failures" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Failed %";
+          Report.col "Random failures";
+          Report.col "Targeted failures";
+        ]
+      ()
   in
   List.iter2
     (fun (r : Broker_core.Resilience.point) (tg : Broker_core.Resilience.point) ->
-      Table.add_row t
+      Report.row t
         [
-          Table.cell_pct ~decimals:0 r.Broker_core.Resilience.failed_fraction;
-          Table.cell_pct r.Broker_core.Resilience.connectivity;
-          Table.cell_pct tg.Broker_core.Resilience.connectivity;
+          Report.pct ~decimals:0 r.Broker_core.Resilience.failed_fraction;
+          Report.pct r.Broker_core.Resilience.connectivity;
+          Report.pct tg.Broker_core.Resilience.connectivity;
         ])
     random targeted;
-  Ctx.table t;
-  Ctx.printf
-    "Targeted loss of the hub brokers is far more damaging than random outages - the\ncontrol plane should replicate its highest-degree members first.\n"
+  Report.note s
+    "Targeted loss of the hub brokers is far more damaging than random outages - the\ncontrol plane should replicate its highest-degree members first.\n";
+  rep
 
 let traffic ctx =
-  Ctx.section "Extension - traffic-weighted (gravity model) connectivity";
+  let rep = Report.create ~name:"ext_traffic" () in
+  let s =
+    Report.section rep "Extension - traffic-weighted (gravity model) connectivity"
+  in
   let g = Ctx.graph ctx in
   let n = G.n g in
   let order = Ctx.maxsg_order ctx in
   let model = Broker_core.Traffic.gravity ~rng:(Ctx.rng ctx) g in
   let sources = min 128 (Ctx.sources ctx) in
   let t =
-    Table.create ~headers:[ "Brokers"; "Pairs served"; "Traffic served" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Brokers";
+          Report.col "Pairs served";
+          Report.col "Traffic served";
+        ]
+      ()
   in
   List.iter
     (fun paper_k ->
@@ -55,40 +75,55 @@ let traffic ctx =
         Broker_core.Traffic.weighted_saturated ~rng:(Ctx.rng ctx) ~sources g
           model ~is_broker
       in
-      Table.add_row t
-        [ Table.cell_int k; Table.cell_pct pairs; Table.cell_pct traffic ])
+      Report.row t
+        [ Report.int k; Report.pct pairs; Report.pct traffic ])
     [ 100; 300; 1000 ];
-  Ctx.table t;
-  Ctx.printf
-    "High-demand (high-degree) endpoints are covered first, so the broker set serves\nan even larger share of bytes than of connections.\n"
+  Report.note s
+    "High-demand (high-degree) endpoints are covered first, so the broker set serves\nan even larger share of bytes than of connections.\n";
+  rep
 
 let betweenness ctx =
-  Ctx.section "Extension - betweenness-based selection vs DB/PRB/MaxSG";
+  let rep = Report.create ~name:"ext_betweenness" () in
+  let s =
+    Report.section rep "Extension - betweenness-based selection vs DB/PRB/MaxSG"
+  in
   let g = Ctx.graph ctx in
   let k = Ctx.scale_count ctx 1000 in
   let order = Ctx.maxsg_order ctx in
   let bb =
     Broker_graph.Betweenness.top ~samples:128 ~rng:(Ctx.rng ctx) g ~k
   in
-  let t = Table.create ~headers:[ "Selection"; "k"; "Saturated connectivity" ] in
+  let t =
+    Report.table s
+      ~columns:
+        [
+          Report.col "Selection";
+          Report.col "k";
+          Report.col "Saturated connectivity";
+        ]
+      ()
+  in
   let row name brokers =
-    Table.add_row t
+    Report.row t
       [
-        name;
-        Table.cell_int (Array.length brokers);
-        Table.cell_pct (Ctx.saturated ctx ~brokers);
+        Report.str name;
+        Report.int (Array.length brokers);
+        Report.pct (Ctx.saturated ctx ~brokers);
       ]
   in
   row "BB (betweenness)" bb;
   row "DB (degree)" (Broker_core.Baselines.db g ~k);
   row "PRB (PageRank)" (Broker_core.Baselines.prb g ~k);
   row "MaxSG" (Array.sub order 0 (min k (Array.length order)));
-  Ctx.table t;
-  Ctx.printf
-    "Betweenness behaves like the other centralities: it crowds the core and hits the\nsame marginal effect; coverage-aware greedy keeps winning.\n"
+  Report.note s
+    "Betweenness behaves like the other centralities: it crowds the core and hits the\nsame marginal effect; coverage-aware greedy keeps winning.\n";
+  rep
 
 let bounded ctx =
-  Ctx.section "Extension - radius-bounded selection (Problem 4, constructive)";
+  let rep = Report.create ~name:"ext_bounded" () in
+  let s =
+    Report.section rep "Extension - radius-bounded selection (Problem 4, constructive)"
+  in
   let g = Ctx.graph ctx in
   let order = Ctx.maxsg_order ctx in
   let k = min (Ctx.scale_count ctx 1000) (Array.length order) in
@@ -96,25 +131,38 @@ let bounded ctx =
   let bounded2 = Broker_core.Bounded_coverage.run g ~k ~radius:2 in
   let free = Ctx.free_curve ctx in
   let t =
-    Table.create
-      ~headers:[ "Selection"; "k"; "l=3"; "l=4"; "l=5"; "saturated"; "max dev vs free" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Selection";
+          Report.col "k";
+          Report.col "l=3";
+          Report.col "l=4";
+          Report.col "l=5";
+          Report.col "saturated";
+          Report.col "max dev vs free";
+        ]
+      ()
   in
   let row name brokers =
     let c = Ctx.curve ctx brokers in
     let dev, _ = Broker_core.Path_constraint.max_deviation c ~target:free in
-    Table.add_row t
-      (name :: Table.cell_int (Array.length brokers)
-       :: List.map (fun l -> Table.cell_pct (Conn.value_at c l)) [ 3; 4; 5 ]
-      @ [ Table.cell_pct c.Conn.saturated; Table.cell_pct dev ])
+    Report.row t
+      (Report.str name :: Report.int (Array.length brokers)
+       :: List.map (fun l -> Report.pct (Conn.value_at c l)) [ 3; 4; 5 ]
+      @ [ Report.pct c.Conn.saturated; Report.pct dev ])
   in
   row "MaxSG (radius 1)" maxsg;
   row "Bounded (radius 2)" bounded2;
-  Ctx.table t;
-  Ctx.printf
-    "Radius-2 selection trades a little saturated coverage for wider geographic spread;\nEq.(4) feasibility (deviation vs the free distribution) is reported per row.\n"
+  Report.note s
+    "Radius-2 selection trades a little saturated coverage for wider geographic spread;\nEq.(4) feasibility (deviation vs the free distribution) is reported per row.\n";
+  rep
 
 let churn ctx =
-  Ctx.section "Extension - topology growth and broker-set maintenance";
+  let rep = Report.create ~name:"ext_churn" () in
+  let s =
+    Report.section rep "Extension - topology growth and broker-set maintenance"
+  in
   let topo = Ctx.topo ctx in
   let g = Ctx.graph ctx in
   let n0 = G.n g in
@@ -145,26 +193,60 @@ let churn ctx =
   (* Reselection from scratch at the same repaired budget. *)
   let rescratch = Broker_core.Maxsg.run g' ~k:(Array.length repaired) in
   let rescratch_sat = sat rescratch in
-  let t = Table.create ~headers:[ "Strategy"; "Brokers"; "Connectivity" ] in
-  Table.add_row t [ Printf.sprintf "Frozen set (+%d new ASes)" growth; Table.cell_int k; Table.cell_pct frozen ];
-  Table.add_row t [ "Incremental top-up (+5% brokers)"; Table.cell_int (Array.length repaired); Table.cell_pct repaired_sat ];
-  Table.add_row t [ "Reselect from scratch"; Table.cell_int (Array.length rescratch); Table.cell_pct rescratch_sat ];
-  Ctx.table t;
+  let t =
+    Report.table s
+      ~columns:
+        [ Report.col "Strategy"; Report.col "Brokers"; Report.col "Connectivity" ]
+      ()
+  in
+  Report.row t
+    [
+      Report.strf "Frozen set (+%d new ASes)" growth;
+      Report.int k;
+      Report.pct frozen;
+    ];
+  Report.row t
+    [
+      Report.str "Incremental top-up (+5% brokers)";
+      Report.int (Array.length repaired);
+      Report.pct repaired_sat;
+    ];
+  Report.row t
+    [
+      Report.str "Reselect from scratch";
+      Report.int (Array.length rescratch);
+      Report.pct rescratch_sat;
+    ];
   let stable =
     let old = Hashtbl.create k in
     Array.iter (fun b -> Hashtbl.replace old b ()) brokers;
     Array.fold_left (fun acc b -> if Hashtbl.mem old b then acc + 1 else acc) 0 rescratch
   in
-  Ctx.printf
+  Report.metricf s ~key:"stable_brokers" (float_of_int stable)
     "Reselection keeps %d of the %d original brokers; the cheap incremental top-up\nrecovers nearly all of the reselection connectivity without renegotiating contracts.\n"
-    stable k
+    stable k;
+  rep
 
 let exact_ratio ctx =
-  Ctx.section "Ablation - empirical approximation ratios vs brute-force optimum";
+  let rep = Report.create ~name:"ablation_exact" () in
+  let s =
+    Report.section rep
+      "Ablation - empirical approximation ratios vs brute-force optimum"
+  in
   let rng = Ctx.rng ctx in
   let t =
-    Table.create
-      ~headers:[ "Instance"; "k"; "OPT f(B)"; "Greedy"; "MaxSG"; "MCBG"; "Worst-case bound" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Instance";
+          Report.col "k";
+          Report.col "OPT f(B)";
+          Report.col "Greedy";
+          Report.col "MaxSG";
+          Report.col "MCBG";
+          Report.col "Worst-case bound";
+        ]
+      ()
   in
   let worst_g = ref 1.0 and worst_m = ref 1.0 and worst_b = ref 1.0 in
   for i = 1 to 10 do
@@ -192,59 +274,72 @@ let exact_ratio ctx =
     worst_g := Float.min !worst_g (ratio greedy);
     worst_m := Float.min !worst_m (ratio maxsg);
     worst_b := Float.min !worst_b (ratio mcbg);
-    Table.add_row t
+    Report.row t
       [
-        Printf.sprintf "random #%d (n=%d)" i n;
-        Table.cell_int k;
-        Table.cell_int opt;
-        Table.cell_int greedy;
-        Table.cell_int maxsg;
-        Table.cell_int mcbg;
-        "";
+        Report.strf "random #%d (n=%d)" i n;
+        Report.int k;
+        Report.int opt;
+        Report.int greedy;
+        Report.int maxsg;
+        Report.int mcbg;
+        Report.str "";
       ]
   done;
-  Ctx.table t;
-  Ctx.printf
+  Report.metric s ~key:"worst_ratio.maxsg" !worst_m;
+  Report.metric s ~key:"worst_ratio.mcbg" !worst_b;
+  Report.metricf s ~key:"worst_ratio.greedy" !worst_g
     "Worst empirical ratios: greedy %.3f (bound %.3f), MaxSG %.3f, MCBG %.3f (bound %.3f for beta=4).\n"
     !worst_g
     (1.0 -. exp (-1.0))
     !worst_m !worst_b
     ((1.0 -. exp (-1.0)) /. 4.0);
-  assert (!worst_g >= 1.0 -. exp (-1.0) -. 1e-9)
+  assert (!worst_g >= 1.0 -. exp (-1.0) -. 1e-9);
+  rep
 
 let regions ctx =
-  Ctx.section "Extension - region-aware selection and coverage fairness";
+  let rep = Report.create ~name:"ext_regions" () in
+  let s =
+    Report.section rep "Extension - region-aware selection and coverage fairness"
+  in
   let g = Ctx.graph ctx in
   let n_regions = 8 in
   let regions = Broker_core.Regions.partition g ~k:n_regions in
   let sizes = Broker_core.Regions.region_sizes regions ~k:n_regions in
-  Ctx.printf "BFS-derived regions (farthest-point seeds): sizes %s\n"
+  Report.notef s "BFS-derived regions (farthest-point seeds): sizes %s\n"
     (String.concat ", " (Array.to_list (Array.map string_of_int sizes)));
   let k = Ctx.scale_count ctx 1000 in
   let order = Ctx.maxsg_order ctx in
   let plain = Array.sub order 0 (min k (Array.length order)) in
   let seeded = Broker_core.Regions.seeded_selection g ~regions ~k in
   let t =
-    Table.create
-      ~headers:
-        [ "Selection"; "k"; "Coverage"; "Worst region"; "Best region"; "Jain fairness" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Selection";
+          Report.col "k";
+          Report.col "Coverage";
+          Report.col "Worst region";
+          Report.col "Best region";
+          Report.col "Jain fairness";
+        ]
+      ()
   in
   let row name brokers =
     let f = Broker_core.Regions.coverage_fairness g ~regions ~n_regions ~brokers in
     let cov = Broker_core.Coverage.create g in
     Array.iter (Broker_core.Coverage.add cov) brokers;
-    Table.add_row t
+    Report.row t
       [
-        name;
-        Table.cell_int (Array.length brokers);
-        Table.cell_pct (Broker_core.Coverage.coverage_fraction cov);
-        Table.cell_pct f.Broker_core.Regions.min_region;
-        Table.cell_pct f.Broker_core.Regions.max_region;
-        Table.cell_float ~decimals:4 f.Broker_core.Regions.jain;
+        Report.str name;
+        Report.int (Array.length brokers);
+        Report.pct (Broker_core.Coverage.coverage_fraction cov);
+        Report.pct f.Broker_core.Regions.min_region;
+        Report.pct f.Broker_core.Regions.max_region;
+        Report.float ~decimals:4 f.Broker_core.Regions.jain;
       ]
   in
   row "MaxSG (global)" plain;
   row "Region-seeded MaxSG" seeded;
-  Ctx.table t;
-  Ctx.printf
-    "Seeding every region before the global greedy closes the worst-region coverage gap\nat negligible total-coverage cost.\n"
+  Report.note s
+    "Seeding every region before the global greedy closes the worst-region coverage gap\nat negligible total-coverage cost.\n";
+  rep

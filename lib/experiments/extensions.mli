@@ -2,30 +2,30 @@
     optional/extension features). Each is a full experiment with the same
     deterministic-context discipline as the table/figure reproductions. *)
 
-val resilience : Ctx.t -> unit
+val resilience : Ctx.t -> Broker_report.Report.t
 (** Broker-failure degradation: random vs targeted failures of the MaxSG
     alliance at several failure fractions. *)
 
-val traffic : Ctx.t -> unit
+val traffic : Ctx.t -> Broker_report.Report.t
 (** Gravity-model traffic-weighted connectivity vs the unweighted pair
     count, across broker budgets. *)
 
-val betweenness : Ctx.t -> unit
+val betweenness : Ctx.t -> Broker_report.Report.t
 (** Betweenness-Based selection vs DB/PRB/MaxSG at the ~1,000-broker
     budget: does path centrality escape the marginal effect? *)
 
-val bounded : Ctx.t -> unit
+val bounded : Ctx.t -> Broker_report.Report.t
 (** Radius-bounded selection (Problem 4's constructive side): l-hop curves
     of MaxSG vs Bounded_coverage at the same budget. *)
 
-val churn : Ctx.t -> unit
+val churn : Ctx.t -> Broker_report.Report.t
 (** Topology growth: coverage decay of a frozen broker set and the cost of
     incremental repair vs reselection. *)
 
-val exact_ratio : Ctx.t -> unit
+val exact_ratio : Ctx.t -> Broker_report.Report.t
 (** Empirical approximation ratios of Algorithms 1-3 against brute-force
     optima on tiny graphs (Lemma 4 / Theorem 3 sanity). *)
 
-val regions : Ctx.t -> unit
+val regions : Ctx.t -> Broker_report.Report.t
 (** Region-aware selection: BFS-derived regions; coverage fairness (Jain
     index, worst region) of plain MaxSG vs region-seeded selection. *)

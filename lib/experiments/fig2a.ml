@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 module Stats = Broker_util.Stats
 
 type result = { runs : int; sizes : float array; mean_fraction : float }
@@ -13,16 +13,31 @@ let compute ?(runs = 300) ctx =
   in
   { runs; sizes; mean_fraction = Stats.mean sizes /. n }
 
-let run ctx =
-  Ctx.section "Fig 2a - CDF of Set-Cover broker set sizes (300 runs)";
+let report ctx =
+  let rep = Report.create ~name:"fig2a" () in
+  let sec =
+    Report.section rep "Fig 2a - CDF of Set-Cover broker set sizes (300 runs)"
+  in
   let r = compute ctx in
   let s = Stats.summarize r.sizes in
-  let t = Table.create ~headers:[ "Quantile"; "Set size" ] in
+  let quantiles =
+    [ ("min", 0.0); ("p10", 0.1); ("p50", 0.5); ("p90", 0.9); ("max", 1.0) ]
+  in
+  let t =
+    Report.table sec
+      ~columns:[ Report.col "Quantile"; Report.col ~unit:"nodes" "Set size" ]
+      ()
+  in
   List.iter
     (fun (name, q) ->
-      Table.add_row t [ name; Table.cell_int (int_of_float (Stats.quantile r.sizes q)) ])
-    [ ("min", 0.0); ("p10", 0.1); ("p50", 0.5); ("p90", 0.9); ("max", 1.0) ];
-  Ctx.table t;
-  Ctx.printf
+      Report.row t
+        [ Report.str name; Report.int (int_of_float (Stats.quantile r.sizes q)) ])
+    quantiles;
+  Report.series sec ~key:"size_cdf" ~x:"quantile" ~y:"set_size"
+    (Array.of_list
+       (List.map (fun (_, q) -> (q, Stats.quantile r.sizes q)) quantiles));
+  Report.metric sec ~key:"mean_fraction" r.mean_fraction;
+  Report.metricf sec ~key:"mean_size" s.Stats.mean
     "Mean SC alliance: %.0f nodes = %.1f%% of the network over %d runs (paper: ~40,000 nodes, >76%%).\n"
-    s.Stats.mean (100.0 *. r.mean_fraction) r.runs
+    s.Stats.mean (100.0 *. r.mean_fraction) r.runs;
+  rep

@@ -9,4 +9,4 @@ type result = {
 }
 
 val compute : ?runs:int -> Ctx.t -> result
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

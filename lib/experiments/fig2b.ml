@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 module Conn = Broker_core.Connectivity
 
 type row = { name : string; brokers : int; curve : Conn.curve }
@@ -25,21 +25,22 @@ let compute ctx =
     eval "Tier1Only" (Broker_core.Baselines.tier1_only topo);
   ]
 
-let run ctx =
-  Ctx.section "Fig 2b - l-hop connectivity per selection algorithm";
-  let headers =
-    "Algorithm" :: "k"
-    :: List.map (fun l -> Printf.sprintf "l=%d" l) [ 2; 3; 4; 5; 6 ]
-    @ [ "saturated" ]
+let report ctx =
+  let rep = Report.create ~name:"fig2b" () in
+  let s = Report.section rep "Fig 2b - l-hop connectivity per selection algorithm" in
+  let columns =
+    Report.col "Algorithm" :: Report.col "k"
+    :: List.map (fun l -> Report.col (Printf.sprintf "l=%d" l)) [ 2; 3; 4; 5; 6 ]
+    @ [ Report.col "saturated" ]
   in
-  let t = Table.create ~headers in
+  let t = Report.table s ~columns () in
   List.iter
     (fun r ->
-      Table.add_row t
-        (r.name :: Table.cell_int r.brokers
-         :: List.map (fun l -> Table.cell_pct (Conn.value_at r.curve l)) [ 2; 3; 4; 5; 6 ]
-        @ [ Table.cell_pct r.curve.Conn.saturated ]))
+      Report.row t
+        (Report.str r.name :: Report.int r.brokers
+         :: List.map (fun l -> Report.pct (Conn.value_at r.curve l)) [ 2; 3; 4; 5; 6 ]
+        @ [ Report.pct r.curve.Conn.saturated ]))
     (compute ctx);
-  Ctx.table t;
-  Ctx.printf
-    "Paper at ~1,000 brokers: approx 85.71%%, MaxSG within 0.5%% of approx, DB 72.53%%, IXPB <= 15.70%%, Tier1Only worse.\n"
+  Report.note s
+    "Paper at ~1,000 brokers: approx 85.71%, MaxSG within 0.5% of approx, DB 72.53%, IXPB <= 15.70%, Tier1Only worse.\n";
+  rep

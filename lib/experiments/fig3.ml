@@ -1,3 +1,4 @@
+module Report = Broker_report.Report
 module Stats = Broker_util.Stats
 
 type point = { pagerank : float; delta_connectivity : float }
@@ -34,17 +35,28 @@ let compute ?(candidates = 48) ctx ~base_k =
   let ys = Array.map (fun p -> p.delta_connectivity) points in
   { base_size = base_k; correlation = Stats.pearson xs ys; points }
 
-let run ctx =
-  Ctx.section "Fig 3 - PageRank value vs marginal connectivity contribution";
+let report ctx =
+  let rep = Report.create ~name:"fig3" () in
+  let s =
+    Report.section rep "Fig 3 - PageRank value vs marginal connectivity contribution"
+  in
   let k_small = Ctx.scale_count ctx 100 in
   let k_large = Ctx.scale_count ctx 1000 in
   let small = compute ctx ~base_k:k_small in
   let large = compute ctx ~base_k:k_large in
-  Ctx.printf
+  Report.metricf s ~key:"corr.small" small.correlation
     "corr(PageRank, delta saturated connectivity) as broker #%d: %+.3f (paper: 0.818)\n"
     (k_small + 1) small.correlation;
-  Ctx.printf
+  Report.metricf s ~key:"corr.large" large.correlation
     "corr(PageRank, delta saturated connectivity) as broker #%d: %+.3f (paper: 0.227)\n"
     (k_large + 1) large.correlation;
-  Ctx.printf
-    "The correlation collapses as the broker set grows: high-PageRank nodes stop being the right next pick.\n"
+  Report.note s
+    "The correlation collapses as the broker set grows: high-PageRank nodes stop being the right next pick.\n";
+  let scatter r =
+    Array.map (fun p -> (p.pagerank, p.delta_connectivity)) r.points
+  in
+  Report.series s ~key:"scatter.small" ~x:"pagerank" ~y:"delta_connectivity"
+    (scatter small);
+  Report.series s ~key:"scatter.large" ~x:"pagerank" ~y:"delta_connectivity"
+    (scatter large);
+  rep

@@ -12,4 +12,4 @@ type result = {
 }
 
 val compute : ?candidates:int -> Ctx.t -> base_k:int -> result
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 module Stats = Broker_util.Stats
 
 type row = {
@@ -37,25 +37,36 @@ let compute ctx =
     describe "MaxSG" maxsg;
   ]
 
-let run ctx =
-  Ctx.section "Fig 4 - broker placement: core concentration vs edge coverage";
+let report ctx =
+  let rep = Report.create ~name:"fig4" () in
+  let s =
+    Report.section rep "Fig 4 - broker placement: core concentration vs edge coverage"
+  in
   let t =
-    Table.create
-      ~headers:
-        [ "Selection"; "Mean coreness"; "Median"; "Deep-core %"; "Edge %"; "f(B)/|V|" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Selection";
+          Report.col "Mean coreness";
+          Report.col "Median";
+          Report.col "Deep-core %";
+          Report.col "Edge %";
+          Report.col "f(B)/|V|";
+        ]
+      ()
   in
   List.iter
     (fun r ->
-      Table.add_row t
+      Report.row t
         [
-          r.name;
-          Table.cell_float r.mean_coreness;
-          Table.cell_float r.median_coreness;
-          Table.cell_pct r.deep_core_share;
-          Table.cell_pct r.edge_share;
-          Table.cell_pct r.covered_fraction;
+          Report.str r.name;
+          Report.float r.mean_coreness;
+          Report.float r.median_coreness;
+          Report.pct r.deep_core_share;
+          Report.pct r.edge_share;
+          Report.pct r.covered_fraction;
         ])
     (compute ctx);
-  Ctx.table t;
-  Ctx.printf
-    "Paper: DB crowds the core leaving the edge uncovered; MaxSG covers the outer ring too.\n"
+  Report.note s
+    "Paper: DB crowds the core leaving the edge uncovered; MaxSG covers the outer ring too.\n";
+  rep

@@ -1,27 +1,37 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
-let run ctx =
-  Ctx.section "Fig 5a - alliance composition and broker-only traffic share";
+let report ctx =
+  let rep = Report.create ~name:"fig5a" () in
+  let s =
+    Report.section rep "Fig 5a - alliance composition and broker-only traffic share"
+  in
   let topo = Ctx.topo ctx in
   let brokers = Ctx.maxsg_order ctx in
   let shares = Broker_core.Composition.shares topo ~brokers in
-  let t = Table.create ~headers:[ "Kind"; "Brokers"; "Share" ] in
+  let t =
+    Report.table s
+      ~columns:[ Report.col "Kind"; Report.col "Brokers"; Report.col "Share" ]
+      ()
+  in
   List.iter
-    (fun (s : Broker_core.Composition.share) ->
-      Table.add_row t
+    (fun (sh : Broker_core.Composition.share) ->
+      Report.row t
         [
-          Broker_topo.Node_meta.kind_to_string s.Broker_core.Composition.kind;
-          Table.cell_int s.Broker_core.Composition.count;
-          Table.cell_pct s.Broker_core.Composition.fraction;
+          Report.str
+            (Broker_topo.Node_meta.kind_to_string sh.Broker_core.Composition.kind);
+          Report.int sh.Broker_core.Composition.count;
+          Report.pct sh.Broker_core.Composition.fraction;
         ])
     shares;
-  Ctx.table t;
   let quick_sources = min 48 (Ctx.sources ctx) in
   let bo =
     Broker_core.Dominating.broker_only_fraction ~rng:(Ctx.rng ctx)
       ~sources:quick_sources (Ctx.graph ctx) ~brokers
   in
-  Ctx.printf
+  Report.metric s ~key:"broker_only_pairs"
+    bo.Broker_core.Dominating.broker_only_pairs;
+  Report.metricf s ~key:"broker_only_ratio" bo.Broker_core.Dominating.ratio
     "E2E connections served by the broker mesh alone: %.1f%% of all pairs = %.1f%% of served pairs (paper: >90%%).\n"
     (100.0 *. bo.Broker_core.Dominating.broker_only_pairs)
-    (100.0 *. bo.Broker_core.Dominating.ratio)
+    (100.0 *. bo.Broker_core.Dominating.ratio);
+  rep

@@ -2,4 +2,4 @@
     tier-1 monopoly) and the fraction of E2E connections carried by broker
     nodes alone (paper: > 90%). *)
 
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

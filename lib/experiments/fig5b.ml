@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
 type row = { k : int; fraction : float; upgraded_links : int; connectivity : float }
 
@@ -33,22 +33,32 @@ let compute ctx =
         fractions)
     budgets
 
-let run ctx =
-  Ctx.section "Fig 5b - directional connectivity vs bidirectional upgrades";
+let report ctx =
+  let rep = Report.create ~name:"fig5b" () in
+  let s =
+    Report.section rep "Fig 5b - directional connectivity vs bidirectional upgrades"
+  in
   let t =
-    Table.create
-      ~headers:[ "Brokers"; "Upgraded fraction"; "Upgraded links"; "Connectivity" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Brokers";
+          Report.col "Upgraded fraction";
+          Report.col "Upgraded links";
+          Report.col "Connectivity";
+        ]
+      ()
   in
   List.iter
     (fun r ->
-      Table.add_row t
+      Report.row t
         [
-          Table.cell_int r.k;
-          Table.cell_pct ~decimals:0 r.fraction;
-          Table.cell_int r.upgraded_links;
-          Table.cell_pct r.connectivity;
+          Report.int r.k;
+          Report.pct ~decimals:0 r.fraction;
+          Report.int r.upgraded_links;
+          Report.pct r.connectivity;
         ])
     (compute ctx);
-  Ctx.table t;
-  Ctx.printf
-    "Paper at p=30%%: 72.5%% with 1,000 brokers; 84.68%% with the full 3,540-alliance.\n"
+  Report.note s
+    "Paper at p=30%: 72.5% with 1,000 brokers; 84.68% with the full 3,540-alliance.\n";
+  rep

@@ -6,4 +6,4 @@
 type row = { k : int; fraction : float; upgraded_links : int; connectivity : float }
 
 val compute : Ctx.t -> row list
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
 type row = { k : int; directional : float; bidirectional : float }
 
@@ -36,20 +36,38 @@ let compute ctx =
       })
     budgets
 
-let run ctx =
-  Ctx.section "Fig 5c - valley-free vs bidirectional connectivity by broker budget";
+let report ctx =
+  let rep = Report.create ~name:"fig5c" () in
+  let s =
+    Report.section rep
+      "Fig 5c - valley-free vs bidirectional connectivity by broker budget"
+  in
+  let rows = compute ctx in
   let t =
-    Table.create ~headers:[ "Brokers"; "Valley-free"; "Bidirectional assumption" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Brokers";
+          Report.col "Valley-free";
+          Report.col "Bidirectional assumption";
+        ]
+      ()
   in
   List.iter
     (fun r ->
-      Table.add_row t
+      Report.row t
         [
-          Table.cell_int r.k;
-          Table.cell_pct r.directional;
-          Table.cell_pct r.bidirectional;
+          Report.int r.k;
+          Report.pct r.directional;
+          Report.pct r.bidirectional;
         ])
-    (compute ctx);
-  Ctx.table t;
-  Ctx.printf
-    "Paper: forcing existing business relationships sharply decreases connectivity at every size.\n"
+    rows;
+  Report.series s ~key:"valley_free" ~x:"brokers" ~y:"connectivity"
+    (Array.of_list
+       (List.map (fun r -> (float_of_int r.k, r.directional)) rows));
+  Report.series s ~key:"bidirectional" ~x:"brokers" ~y:"connectivity"
+    (Array.of_list
+       (List.map (fun r -> (float_of_int r.k, r.bidirectional)) rows));
+  Report.note s
+    "Paper: forcing existing business relationships sharply decreases connectivity at every size.\n";
+  rep

@@ -5,4 +5,4 @@
 type row = { k : int; directional : float; bidirectional : float }
 
 val compute : Ctx.t -> row list
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

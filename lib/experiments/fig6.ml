@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
 type result = {
   bargain : Broker_econ.Bargain.outcome;
@@ -37,39 +37,58 @@ let compute ?(customers = 200) ctx =
       Broker_econ.Stackelberg.full_adoption_price population ~epsilon:0.01;
   }
 
-let run ctx =
-  Ctx.section "Fig 6 / Sec 7.1 - bargaining and Stackelberg pricing";
+let report ctx =
+  let rep = Report.create ~name:"fig6" () in
+  let s = Report.section rep "Fig 6 / Sec 7.1 - bargaining and Stackelberg pricing" in
   let r = compute ctx in
   let eq = r.equilibrium in
-  let t = Table.create ~headers:[ "Quantity"; "Value" ] in
-  Table.add_row t [ "Customers (non-broker ASes)"; Table.cell_int r.customers ];
-  Table.add_row t
-    [ "Stackelberg price p_B"; Table.cell_float ~decimals:3 eq.Broker_econ.Stackelberg.price ];
-  Table.add_row t
-    [ "Aggregate adoption alpha"; Table.cell_float ~decimals:2 eq.Broker_econ.Stackelberg.alpha ];
-  Table.add_row t [ "Mean adoption a_i"; Table.cell_float ~decimals:3 r.mean_adoption ];
-  Table.add_row t [ "Full adopters (a_i ~ 1)"; Table.cell_int r.full_adopters ];
-  Table.add_row t
+  let t =
+    Report.table s ~columns:[ Report.col "Quantity"; Report.col "Value" ] ()
+  in
+  Report.row t [ Report.str "Customers (non-broker ASes)"; Report.int r.customers ];
+  Report.row t
     [
-      "Broker coalition utility";
-      Table.cell_float ~decimals:2 eq.Broker_econ.Stackelberg.broker_utility;
+      Report.str "Stackelberg price p_B";
+      Report.float ~decimals:3 eq.Broker_econ.Stackelberg.price;
     ];
-  Table.add_row t
+  Report.row t
     [
-      "Price for universal adoption";
+      Report.str "Aggregate adoption alpha";
+      Report.float ~decimals:2 eq.Broker_econ.Stackelberg.alpha;
+    ];
+  Report.row t
+    [ Report.str "Mean adoption a_i"; Report.float ~decimals:3 r.mean_adoption ];
+  Report.row t [ Report.str "Full adopters (a_i ~ 1)"; Report.int r.full_adopters ];
+  Report.row t
+    [
+      Report.str "Broker coalition utility";
+      Report.float ~decimals:2 eq.Broker_econ.Stackelberg.broker_utility;
+    ];
+  Report.row t
+    [
+      Report.str "Price for universal adoption";
       (match r.full_adoption_price with
-      | Some p -> Table.cell_float ~decimals:3 p
-      | None -> "none (heterogeneous population)");
+      | Some p -> Report.float ~decimals:3 p
+      | None -> Report.str "none (heterogeneous population)");
     ];
-  Table.add_rule t;
-  Table.add_row t
-    [ "Nash bargaining price p_j"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.price ];
-  Table.add_row t
-    [ "Employee utility u_j"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.u_employee ];
-  Table.add_row t
-    [ "Broker utility per unit u_B"; Table.cell_float ~decimals:3 r.bargain.Broker_econ.Bargain.u_broker ];
-  Ctx.table t;
-  Ctx.printf
+  Report.rule t;
+  Report.row t
+    [
+      Report.str "Nash bargaining price p_j";
+      Report.float ~decimals:3 r.bargain.Broker_econ.Bargain.price;
+    ];
+  Report.row t
+    [
+      Report.str "Employee utility u_j";
+      Report.float ~decimals:3 r.bargain.Broker_econ.Bargain.u_employee;
+    ];
+  Report.row t
+    [
+      Report.str "Broker utility per unit u_B";
+      Report.float ~decimals:3 r.bargain.Broker_econ.Bargain.u_broker;
+    ];
+  Report.note s
     "Theorems 5-6: both the bargaining problem and the Stackelberg game admit equilibria (existence verified numerically).\n";
   assert (r.bargain.Broker_econ.Bargain.u_employee > 0.0);
-  assert (r.bargain.Broker_econ.Bargain.u_broker > 0.0)
+  assert (r.bargain.Broker_econ.Bargain.u_broker > 0.0);
+  rep

@@ -12,4 +12,4 @@ type result = {
 }
 
 val compute : ?customers:int -> Ctx.t -> result
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
 type row = {
   method_name : string;
@@ -45,23 +45,32 @@ let compute ctx =
   in
   [ ours 100 0.5314; ours 1000 0.8541; ours 3540 0.9929; all_ases; all_ixps ]
 
-let run ctx =
-  Ctx.section "Table 1 - alliance size vs QoS coverage";
+let report ctx =
+  let rep = Report.create ~name:"table1" () in
+  let s = Report.section rep "Table 1 - alliance size vs QoS coverage" in
   let t =
-    Table.create
-      ~headers:[ "Method"; "Brokers"; "% of nodes"; "Coverage"; "Paper" ]
+    Report.table s
+      ~columns:
+        [
+          Report.col "Method";
+          Report.col ~unit:"count" "Brokers";
+          Report.col "% of nodes";
+          Report.col "Coverage";
+          Report.col "Paper";
+        ]
+      ()
   in
   List.iter
     (fun r ->
-      Table.add_row t
+      Report.row t
         [
-          r.method_name;
-          Table.cell_int r.brokers;
-          Table.cell_pct r.fraction_of_nodes;
-          Table.cell_pct r.coverage;
+          Report.str r.method_name;
+          Report.int r.brokers;
+          Report.pct r.fraction_of_nodes;
+          Report.pct r.coverage;
           (match r.paper_coverage with
-          | Some p -> Table.cell_pct p
-          | None -> "-");
+          | Some p -> Report.pct p
+          | None -> Report.str "-");
         ])
     (compute ctx);
-  Ctx.table t
+  rep

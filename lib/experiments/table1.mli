@@ -11,4 +11,4 @@ type row = {
 }
 
 val compute : Ctx.t -> row list
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

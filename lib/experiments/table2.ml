@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
 type row = { description : string; measured : int; paper : int option }
 
@@ -33,16 +33,23 @@ let compute ctx =
     };
   ]
 
-let run ctx =
-  Ctx.section "Table 2 - dataset summary (synthetic topology vs paper)";
-  let t = Table.create ~headers:[ "Description"; "Measured"; "Paper" ] in
+let report ctx =
+  let rep = Report.create ~name:"table2" () in
+  let s =
+    Report.section rep "Table 2 - dataset summary (synthetic topology vs paper)"
+  in
+  let t =
+    Report.table s
+      ~columns:[ Report.col "Description"; Report.col "Measured"; Report.col "Paper" ]
+      ()
+  in
   List.iter
     (fun r ->
-      Table.add_row t
+      Report.row t
         [
-          r.description;
-          Table.cell_int r.measured;
-          (match r.paper with Some p -> Table.cell_int p | None -> "-");
+          Report.str r.description;
+          Report.int r.measured;
+          (match r.paper with Some p -> Report.int p | None -> Report.str "-");
         ])
     (compute ctx);
-  Ctx.table t
+  rep

@@ -4,4 +4,4 @@
 type row = { description : string; measured : int; paper : int option }
 
 val compute : Ctx.t -> row list
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

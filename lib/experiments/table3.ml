@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 module Conn = Broker_core.Connectivity
 
 type row = { name : string; curve : Conn.curve }
@@ -33,21 +33,25 @@ let compute ctx =
     eval "ASes with IXPs" g;
   ]
 
-let run ctx =
-  Ctx.section "Table 3 - l-hop E2E connectivity per topology (free paths)";
-  let headers =
-    "Topology" :: List.map (fun l -> Printf.sprintf "l=%d" l) [ 1; 2; 3; 4; 5; 6 ]
-    @ [ "saturated" ]
+let report ctx =
+  let rep = Report.create ~name:"table3" () in
+  let s =
+    Report.section rep "Table 3 - l-hop E2E connectivity per topology (free paths)"
   in
-  let t = Table.create ~headers in
+  let columns =
+    Report.col "Topology"
+    :: List.map (fun l -> Report.col (Printf.sprintf "l=%d" l)) [ 1; 2; 3; 4; 5; 6 ]
+    @ [ Report.col "saturated" ]
+  in
+  let t = Report.table s ~columns () in
   List.iter
     (fun r ->
-      Table.add_row t
-        (r.name
+      Report.row t
+        (Report.str r.name
          :: List.map
-              (fun l -> Table.cell_pct (Conn.value_at r.curve l))
+              (fun l -> Report.pct (Conn.value_at r.curve l))
               [ 1; 2; 3; 4; 5; 6 ]
-        @ [ Table.cell_pct r.curve.Conn.saturated ]))
+        @ [ Report.pct r.curve.Conn.saturated ]))
     (compute ctx);
-  Ctx.table t;
-  Ctx.printf "Paper: ASes-with-IXPs = 99.21%% at l=4 (a (0.99,4)-graph).\n"
+  Report.note s "Paper: ASes-with-IXPs = 99.21% at l=4 (a (0.99,4)-graph).\n";
+  rep

@@ -7,4 +7,4 @@
 type row = { name : string; curve : Broker_core.Connectivity.curve }
 
 val compute : Ctx.t -> row list
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

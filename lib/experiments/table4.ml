@@ -1,4 +1,4 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 module Conn = Broker_core.Connectivity
 
 type result = {
@@ -24,23 +24,27 @@ let compute ctx =
     max_inflation = !max_inflation;
   }
 
-let run ctx =
-  Ctx.section "Table 4 - path inflation: full alliance vs free path selection";
-  let r = compute ctx in
-  let headers =
-    "Routing" :: List.map (fun l -> Printf.sprintf "l=%d" l) [ 2; 3; 4; 5; 6 ]
-    @ [ "saturated" ]
+let report ctx =
+  let rep = Report.create ~name:"table4" () in
+  let s =
+    Report.section rep "Table 4 - path inflation: full alliance vs free path selection"
   in
-  let t = Table.create ~headers in
+  let r = compute ctx in
+  let columns =
+    Report.col "Routing"
+    :: List.map (fun l -> Report.col (Printf.sprintf "l=%d" l)) [ 2; 3; 4; 5; 6 ]
+    @ [ Report.col "saturated" ]
+  in
+  let t = Report.table s ~columns () in
   let row name curve =
-    Table.add_row t
-      (name
-       :: List.map (fun l -> Table.cell_pct (Conn.value_at curve l)) [ 2; 3; 4; 5; 6 ]
-      @ [ Table.cell_pct curve.Conn.saturated ])
+    Report.row t
+      (Report.str name
+       :: List.map (fun l -> Report.pct (Conn.value_at curve l)) [ 2; 3; 4; 5; 6 ]
+      @ [ Report.pct curve.Conn.saturated ])
   in
   row (Printf.sprintf "%d-alliance" r.alliance_size) r.alliance;
   row "ASesWithIXPs (free)" r.free;
-  Ctx.table t;
-  Ctx.printf
+  Report.metricf s ~key:"max_inflation" r.max_inflation
     "Max inflation (free - alliance) over hop counts: %.2f%% (paper: curves almost overlap).\n"
-    (100.0 *. r.max_inflation)
+    (100.0 *. r.max_inflation);
+  rep

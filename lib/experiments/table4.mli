@@ -10,4 +10,4 @@ type result = {
 }
 
 val compute : Ctx.t -> result
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

@@ -1,24 +1,34 @@
-module Table = Broker_util.Table
+module Report = Broker_report.Report
 
-let run ctx =
-  Ctx.section "Table 5 - example brokers and rankings (MaxSG selection order)";
+let report ctx =
+  let rep = Report.create ~name:"table5" () in
+  let s =
+    Report.section rep
+      "Table 5 - example brokers and rankings (MaxSG selection order)"
+  in
   let topo = Ctx.topo ctx in
   let brokers = Ctx.maxsg_order ctx in
   let ranked = Broker_core.Composition.ranking topo ~brokers in
-  let t = Table.create ~headers:[ "Rank"; "Type"; "Name"; "Degree" ] in
+  let t =
+    Report.table s
+      ~columns:
+        [ Report.col "Rank"; Report.col "Type"; Report.col "Name"; Report.col "Degree" ]
+      ()
+  in
   let show r =
-    Table.add_row t
+    Report.row t
       [
-        Table.cell_int r.Broker_core.Composition.rank;
-        Broker_topo.Node_meta.kind_to_string r.Broker_core.Composition.kind;
-        r.Broker_core.Composition.name;
-        Table.cell_int r.Broker_core.Composition.degree;
+        Report.int r.Broker_core.Composition.rank;
+        Report.str
+          (Broker_topo.Node_meta.kind_to_string r.Broker_core.Composition.kind);
+        Report.str r.Broker_core.Composition.name;
+        Report.int r.Broker_core.Composition.degree;
       ]
   in
   (* Top of the ranking, then the first appearances of the stub kinds the
      paper's Table 5 samples (content/enterprise). *)
   Array.iteri (fun i r -> if i < 10 then show r) ranked;
-  Table.add_rule t;
+  Report.rule t;
   let shown = ref [] in
   Array.iter
     (fun r ->
@@ -36,8 +46,8 @@ let run ctx =
         show r
       end)
     ranked;
-  Ctx.table t;
   let ixp_ranks = Broker_core.Composition.first_ixp_ranks topo ~brokers in
   let firsts = List.filteri (fun i _ -> i < 5) ixp_ranks in
-  Ctx.printf "First IXP selection ranks: %s (paper: 1, 4, 7, 9, ...).\n"
-    (String.concat ", " (List.map string_of_int firsts))
+  Report.notef s "First IXP selection ranks: %s (paper: 1, 4, 7, 9, ...).\n"
+    (String.concat ", " (List.map string_of_int firsts));
+  rep

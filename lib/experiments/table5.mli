@@ -3,4 +3,4 @@
     ranks 1, 4, 7, 9) alongside tier-1 transit, with content and enterprise
     ASes appearing deeper. *)
 
-val run : Ctx.t -> unit
+val report : Ctx.t -> Broker_report.Report.t

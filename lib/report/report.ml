@@ -1,0 +1,231 @@
+(* Typed report IR: every experiment builds one of these instead of
+   printing. Rendering lives in the backend modules (Report_text,
+   Report_json, Report_csv); regression comparison in Report_diff. *)
+
+type cell =
+  | Int of int
+  | Float of { value : float; decimals : int; volatile : bool }
+  | Pct of { value : float; decimals : int }
+  | Str of string
+
+type column = { title : string; unit_ : string option }
+
+type trow = Row of cell list | Rule
+
+type table = {
+  tkey : string;
+  columns : column list;
+  mutable rev_rows : trow list;
+}
+
+type metric = {
+  mkey : string;
+  value : float;
+  munit : string option;
+  mvolatile : bool;
+  display : string option;
+}
+
+type series = {
+  skey : string;
+  x_label : string;
+  y_label : string;
+  points : (float * float) array;
+}
+
+type item =
+  | Table of table
+  | Note of string
+  | Metric of metric
+  | Series of series
+
+type section = { title : string; parent : t; mutable rev_items : item list }
+
+and t = {
+  name : string;
+  mutable meta : (string * float) list;
+  mutable rev_sections : section list;
+  used_keys : (string, unit) Hashtbl.t;
+}
+
+let create ?(meta = []) ~name () =
+  if name = "" then invalid_arg "Report.create: empty name";
+  { name; meta; rev_sections = []; used_keys = Hashtbl.create 8 }
+
+let name t = t.name
+let meta t = t.meta
+let set_meta t meta = t.meta <- meta
+
+let claim_key t kind key =
+  if key = "" then invalid_arg (Printf.sprintf "Report: empty %s key" kind);
+  let full = kind ^ "." ^ key in
+  if Hashtbl.mem t.used_keys full then
+    invalid_arg
+      (Printf.sprintf "Report %S: duplicate %s key %S" t.name kind key);
+  Hashtbl.replace t.used_keys full ()
+
+let section t title =
+  let s = { title; parent = t; rev_items = [] } in
+  t.rev_sections <- s :: t.rev_sections;
+  s
+
+let sections t = List.rev t.rev_sections
+let section_title s = s.title
+let items s = List.rev s.rev_items
+
+let note s text = s.rev_items <- Note text :: s.rev_items
+let notef s fmt = Printf.ksprintf (note s) fmt
+
+let metric s ~key ?unit:munit ?(volatile = false) value =
+  claim_key s.parent "metric" key;
+  s.rev_items <-
+    Metric { mkey = key; value; munit; mvolatile = volatile; display = None }
+    :: s.rev_items
+
+let metricf s ~key ?unit:munit ?(volatile = false) value fmt =
+  Printf.ksprintf
+    (fun display ->
+      claim_key s.parent "metric" key;
+      s.rev_items <-
+        Metric
+          { mkey = key; value; munit; mvolatile = volatile;
+            display = Some display }
+        :: s.rev_items)
+    fmt
+
+let series s ~key ?(x = "k") ?(y = "value") points =
+  claim_key s.parent "series" key;
+  s.rev_items <-
+    Series { skey = key; x_label = x; y_label = y; points = Array.copy points }
+    :: s.rev_items
+
+let col ?unit:u title = { title; unit_ = u }
+
+let table s ?(key = "main") ~columns () =
+  if columns = [] then invalid_arg "Report.table: no columns";
+  claim_key s.parent "table" key;
+  let tbl = { tkey = key; columns; rev_rows = [] } in
+  s.rev_items <- Table tbl :: s.rev_items;
+  tbl
+
+let row tbl cells =
+  if List.length cells <> List.length tbl.columns then
+    invalid_arg
+      (Printf.sprintf "Report.row: arity mismatch in table %S" tbl.tkey);
+  tbl.rev_rows <- Row cells :: tbl.rev_rows
+
+let rule tbl = tbl.rev_rows <- Rule :: tbl.rev_rows
+let rows tbl = List.rev tbl.rev_rows
+let table_key tbl = tbl.tkey
+let columns tbl = tbl.columns
+
+(* Cell constructors mirror Broker_util.Table.cell_* so the text renderer
+   reproduces the historical terminal output byte for byte. *)
+let int n = Int n
+let float ?(decimals = 2) value = Float { value; decimals; volatile = false }
+let pct ?(decimals = 2) value = Pct { value; decimals }
+let str s = Str s
+let strf fmt = Printf.ksprintf str fmt
+
+let seconds ?(decimals = 3) value =
+  Float { value; decimals; volatile = true }
+
+let cell_text = function
+  | Int n -> string_of_int n
+  | Float { value; decimals; _ } -> Printf.sprintf "%.*f" decimals value
+  | Pct { value; decimals } -> Printf.sprintf "%.*f%%" decimals (100.0 *. value)
+  | Str s -> s
+
+let cell_value = function
+  | Int n -> Some (float_of_int n)
+  | Float { value; _ } | Pct { value; _ } -> Some value
+  | Str _ -> None
+
+let cell_volatile = function
+  | Float { volatile; _ } -> volatile
+  | Int _ | Pct _ | Str _ -> false
+
+let cell_decimals = function
+  | Float { decimals; _ } | Pct { decimals; _ } -> Some decimals
+  | Int _ | Str _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Structural equality (monomorphic: the float fields rule out the
+   polymorphic compare, and NaN must equal NaN for round-trip tests).   *)
+(* ------------------------------------------------------------------ *)
+
+let float_eq a b = Float.equal a b || (Float.is_nan a && Float.is_nan b)
+
+let opt_eq eq a b =
+  match (a, b) with
+  | None, None -> true
+  | Some x, Some y -> eq x y
+  | None, Some _ | Some _, None -> false
+
+let list_eq eq a b =
+  List.length a = List.length b && List.for_all2 eq a b
+
+let cell_eq a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float a, Float b ->
+      float_eq a.value b.value && a.decimals = b.decimals
+      && Bool.equal a.volatile b.volatile
+  | Pct a, Pct b -> float_eq a.value b.value && a.decimals = b.decimals
+  | Str x, Str y -> String.equal x y
+  | (Int _ | Float _ | Pct _ | Str _), _ -> false
+
+let column_eq (a : column) (b : column) =
+  String.equal a.title b.title && opt_eq String.equal a.unit_ b.unit_
+
+let trow_eq a b =
+  match (a, b) with
+  | Rule, Rule -> true
+  | Row x, Row y -> list_eq cell_eq x y
+  | (Row _ | Rule), _ -> false
+
+let table_eq a b =
+  String.equal a.tkey b.tkey
+  && list_eq column_eq a.columns b.columns
+  && list_eq trow_eq (rows a) (rows b)
+
+let points_eq a b =
+  Array.length a = Array.length b
+  && begin
+       let ok = ref true in
+       Array.iteri
+         (fun i (x, y) ->
+           let x', y' = b.(i) in
+           if not (float_eq x x' && float_eq y y') then ok := false)
+         a;
+       !ok
+     end
+
+let item_eq a b =
+  match (a, b) with
+  | Note x, Note y -> String.equal x y
+  | Metric a, Metric b ->
+      String.equal a.mkey b.mkey && float_eq a.value b.value
+      && opt_eq String.equal a.munit b.munit
+      && Bool.equal a.mvolatile b.mvolatile
+      && opt_eq String.equal a.display b.display
+  | Series a, Series b ->
+      String.equal a.skey b.skey
+      && String.equal a.x_label b.x_label
+      && String.equal a.y_label b.y_label
+      && points_eq a.points b.points
+  | Table a, Table b -> table_eq a b
+  | (Note _ | Metric _ | Series _ | Table _), _ -> false
+
+let section_eq a b =
+  String.equal a.title b.title && list_eq item_eq (items a) (items b)
+
+let meta_eq a b =
+  list_eq
+    (fun (ka, va) (kb, vb) -> String.equal ka kb && float_eq va vb)
+    a b
+
+let equal a b =
+  String.equal a.name b.name
+  && meta_eq a.meta b.meta
+  && list_eq section_eq (sections a) (sections b)

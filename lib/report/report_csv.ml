@@ -1,0 +1,92 @@
+(* CSV backend: one file per table and per series, raw typed values (no
+   display rounding) so downstream plotting scripts get full precision. *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let float_repr x =
+  if Float.is_finite x then begin
+    let s = Printf.sprintf "%.12g" x in
+    if Float.equal (float_of_string s) x then s else Printf.sprintf "%.17g" x
+  end
+  else if Float.is_nan x then "nan"
+  else if x > 0.0 then "inf"
+  else "-inf"
+
+let add_line buf cells =
+  Buffer.add_string buf (String.concat "," (List.map quote cells));
+  Buffer.add_char buf '\n'
+
+let cell_raw cell =
+  match Report.cell_value cell with
+  | Some v -> float_repr v
+  | None -> Report.cell_text cell
+
+let column_header (c : Report.column) =
+  match c.Report.unit_ with
+  | Some u -> Printf.sprintf "%s (%s)" c.Report.title u
+  | None -> c.Report.title
+
+let table_csv tbl =
+  let buf = Buffer.create 256 in
+  add_line buf (List.map column_header (Report.columns tbl));
+  List.iter
+    (function
+      | Report.Row cells -> add_line buf (List.map cell_raw cells)
+      | Report.Rule -> ())
+    (Report.rows tbl);
+  Buffer.contents buf
+
+let series_csv (s : Report.series) =
+  let buf = Buffer.create 256 in
+  add_line buf [ s.Report.x_label; s.Report.y_label ];
+  Array.iter
+    (fun (x, y) -> add_line buf [ float_repr x; float_repr y ])
+    s.Report.points;
+  Buffer.contents buf
+
+let slug key =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    key
+
+let files r =
+  let name = Report.name r in
+  let acc = ref [] in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun item ->
+          match item with
+          | Report.Table tbl ->
+              let fname =
+                Printf.sprintf "%s.table.%s.csv" name
+                  (slug (Report.table_key tbl))
+              in
+              acc := (fname, table_csv tbl) :: !acc
+          | Report.Series sr ->
+              let fname =
+                Printf.sprintf "%s.series.%s.csv" name (slug sr.Report.skey)
+              in
+              acc := (fname, series_csv sr) :: !acc
+          | Report.Note _ | Report.Metric _ -> ())
+        (Report.items s))
+    (Report.sections r);
+  List.rev !acc

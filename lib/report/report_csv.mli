@@ -1,0 +1,10 @@
+(** CSV backend for {!Report}: one file per table and per series.
+
+    Values are the raw typed numbers (full [%.12g]/[%.17g] precision, not
+    the rounded display text); table rules are dropped; notes and metrics
+    have no CSV representation. File names follow
+    [<report>.table.<key>.csv] / [<report>.series.<key>.csv] with
+    non-alphanumeric key characters mapped to [_]. *)
+
+val files : Report.t -> (string * string) list
+(** [(filename, contents)] pairs, in report order. *)

@@ -1,0 +1,167 @@
+(* Regression comparison between two reports. Reports are flattened into
+   (stable key, entry) pairs; numeric entries compare within a per-key
+   tolerance (longest-prefix match over the --tol arguments), text entries
+   compare exactly, volatile values (wall-clock timings) are skipped. *)
+
+type entry = Num of float | Text of string
+
+type drift = { key : string; a : string; b : string }
+
+type outcome = {
+  drifts : drift list;
+  only_a : string list;
+  only_b : string list;
+}
+
+let slug s =
+  String.lowercase_ascii
+    (String.map
+       (fun c ->
+         match c with
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+         | _ -> '_')
+       s)
+
+let column_slugs columns =
+  (* Disambiguate duplicate column titles with a positional suffix so every
+     cell key stays unique and stable. *)
+  let slugs = List.map (fun (c : Report.column) -> slug c.Report.title) columns in
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      Hashtbl.replace counts s
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts s)))
+    slugs;
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun s ->
+      if Hashtbl.find counts s = 1 then s
+      else begin
+        let n = Option.value ~default:0 (Hashtbl.find_opt seen s) in
+        Hashtbl.replace seen s (n + 1);
+        Printf.sprintf "%s%d" s n
+      end)
+    slugs
+
+let flatten r =
+  let acc = ref [] in
+  let push key entry = acc := (key, entry) :: !acc in
+  List.iter (fun (k, v) -> push (Printf.sprintf "meta.%s" k) (Num v)) (Report.meta r);
+  List.iteri
+    (fun si s ->
+      let note_idx = ref 0 in
+      List.iter
+        (fun item ->
+          match item with
+          | Report.Note text ->
+              push (Printf.sprintf "note.s%d.%d" si !note_idx) (Text text);
+              incr note_idx
+          | Report.Metric m ->
+              if not m.Report.mvolatile then
+                push (Printf.sprintf "metric.%s" m.Report.mkey) (Num m.Report.value)
+          | Report.Series sr ->
+              Array.iteri
+                (fun i (x, y) ->
+                  push (Printf.sprintf "series.%s.%d.x" sr.Report.skey i) (Num x);
+                  push (Printf.sprintf "series.%s.%d.y" sr.Report.skey i) (Num y))
+                sr.Report.points
+          | Report.Table tbl ->
+              let tkey = Report.table_key tbl in
+              let slugs = column_slugs (Report.columns tbl) in
+              let ri = ref 0 in
+              List.iter
+                (fun trow ->
+                  match trow with
+                  | Report.Rule -> ()
+                  | Report.Row cells ->
+                      List.iter2
+                        (fun cslug cell ->
+                          if not (Report.cell_volatile cell) then begin
+                            let key =
+                              Printf.sprintf "table.%s.r%d.%s" tkey !ri cslug
+                            in
+                            match Report.cell_value cell with
+                            | Some v -> push key (Num v)
+                            | None -> push key (Text (Report.cell_text cell))
+                          end)
+                        slugs cells;
+                      incr ri)
+                (Report.rows tbl))
+        (Report.items s))
+    (Report.sections r);
+  List.rev !acc
+
+(* Longest-prefix tolerance lookup; the empty prefix acts as a global
+   default. Returns 0.0 (exact comparison) when nothing matches. *)
+let tolerance_for tols key =
+  let best = ref None in
+  List.iter
+    (fun (prefix, eps) ->
+      let plen = String.length prefix in
+      let matches =
+        plen <= String.length key && String.sub key 0 plen = prefix
+      in
+      if matches then
+        match !best with
+        | Some (blen, _) when blen >= plen -> ()
+        | Some _ | None -> best := Some (plen, eps))
+    tols;
+  match !best with Some (_, eps) -> eps | None -> 0.0
+
+let num_repr x =
+  if Float.is_finite x then begin
+    let s = Printf.sprintf "%.12g" x in
+    if Float.equal (float_of_string s) x then s else Printf.sprintf "%.17g" x
+  end
+  else if Float.is_nan x then "nan"
+  else if x > 0.0 then "inf"
+  else "-inf"
+
+let entry_repr = function Num x -> num_repr x | Text s -> Printf.sprintf "%S" s
+
+let entries_match ~eps a b =
+  match (a, b) with
+  | Num x, Num y ->
+      (Float.is_nan x && Float.is_nan y)
+      || Float.equal x y
+      || Float.abs (x -. y) <= eps
+  | Text x, Text y -> String.equal x y
+  | Num _, Text _ | Text _, Num _ -> false
+
+let compare ?(tols = []) a b =
+  let fa = flatten a and fb = flatten b in
+  let tb = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace tb k v) fb;
+  let ta = Hashtbl.create 64 in
+  List.iter (fun (k, v) -> Hashtbl.replace ta k v) fa;
+  let drifts = ref [] and only_a = ref [] in
+  List.iter
+    (fun (key, va) ->
+      match Hashtbl.find_opt tb key with
+      | None -> only_a := key :: !only_a
+      | Some vb ->
+          let eps = tolerance_for tols key in
+          if not (entries_match ~eps va vb) then
+            drifts :=
+              { key; a = entry_repr va; b = entry_repr vb } :: !drifts)
+    fa;
+  let only_b =
+    List.filter_map
+      (fun (k, _) -> if Hashtbl.mem ta k then None else Some k)
+      fb
+  in
+  { drifts = List.rev !drifts; only_a = List.rev !only_a; only_b }
+
+let ok o = o.drifts = [] && o.only_a = [] && o.only_b = []
+
+let pp ppf o =
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "drift  %s: %s -> %s@." d.key d.a d.b)
+    o.drifts;
+  List.iter (fun k -> Format.fprintf ppf "only-a %s@." k) o.only_a;
+  List.iter (fun k -> Format.fprintf ppf "only-b %s@." k) o.only_b;
+  if ok o then Format.fprintf ppf "reports match@."
+  else
+    Format.fprintf ppf "%d drift(s), %d missing in b, %d missing in a@."
+      (List.length o.drifts) (List.length o.only_a) (List.length o.only_b)

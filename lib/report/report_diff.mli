@@ -1,0 +1,36 @@
+(** Regression comparison between two {!Report.t} values — the engine
+    behind [brokerctl report diff] and the CI golden gate.
+
+    Reports flatten to [(stable key, entry)] pairs:
+    - [meta.<name>] — run parameters;
+    - [metric.<key>] — scalar metrics (volatile ones skipped);
+    - [table.<tkey>.r<i>.<colslug>] — each non-volatile cell, with [i] the
+      0-based data-row index (rules don't count) and [colslug] the
+      lowercased column title (positional suffix on duplicates);
+    - [series.<skey>.<i>.x|y] — curve points;
+    - [note.s<i>.<j>] — free-text notes (string comparison, so drifting
+      numbers embedded in prose are caught too). *)
+
+type entry = Num of float | Text of string
+
+type drift = { key : string; a : string; b : string }
+
+type outcome = {
+  drifts : drift list;  (** present in both, values differ *)
+  only_a : string list;  (** keys missing from [b] *)
+  only_b : string list;  (** keys missing from [a] *)
+}
+
+val flatten : Report.t -> (string * entry) list
+(** The flat view, in report order. Volatile values are omitted. *)
+
+val compare : ?tols:(string * float) list -> Report.t -> Report.t -> outcome
+(** [tols] maps key prefixes to absolute tolerances; the longest matching
+    prefix wins, and the empty prefix sets a global default. Unmatched keys
+    compare exactly (NaN equals NaN). *)
+
+val ok : outcome -> bool
+
+val pp : Format.formatter -> outcome -> unit
+(** Human-readable listing: one line per drift/missing key, then a
+    summary line. *)

@@ -1,0 +1,486 @@
+(* JSON backend: schema-versioned (brokerset-report/1) machine artifact
+   with a stable key order, plus a self-contained parser so goldens can be
+   read back without external dependencies. Floats round-trip exactly
+   (shortest decimal that re-reads to the same bits, widened to %.17g when
+   needed); JSON has no non-finite numbers, so NaN/infinities are emitted
+   as the strings "NaN"/"Infinity"/"-Infinity" and parsed back. *)
+
+let schema = "brokerset-report/1"
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr x =
+  let s = Printf.sprintf "%.12g" x in
+  if Float.equal (float_of_string s) x then s else Printf.sprintf "%.17g" x
+
+let add_float buf x =
+  if Float.is_finite x then Buffer.add_string buf (float_repr x)
+  else if Float.is_nan x then Buffer.add_string buf "\"NaN\""
+  else if x > 0.0 then Buffer.add_string buf "\"Infinity\""
+  else Buffer.add_string buf "\"-Infinity\""
+
+let add_sep buf first = if !first then first := false else Buffer.add_string buf ", "
+
+let add_cell buf cell =
+  Buffer.add_char buf '{';
+  (match Report.cell_value cell with
+  | None ->
+      Buffer.add_string buf "\"s\": ";
+      add_escaped buf (Report.cell_text cell)
+  | Some v ->
+      let tag =
+        match (Report.cell_decimals cell, Report.cell_volatile cell) with
+        | None, _ -> "i"
+        | Some _, true -> "v"
+        | Some _, false ->
+            (* Distinguish plain floats from percentage fractions by the
+               rendered text: pct cells end in '%'. *)
+            let t = Report.cell_text cell in
+            if String.length t > 0 && t.[String.length t - 1] = '%' then "p"
+            else "f"
+      in
+      Printf.bprintf buf "\"%s\": " tag;
+      add_float buf v;
+      (match Report.cell_decimals cell with
+      | Some d -> Printf.bprintf buf ", \"d\": %d" d
+      | None -> ()));
+  Buffer.add_char buf '}'
+
+let add_table buf tbl =
+  Buffer.add_string buf "{\"type\": \"table\", \"key\": ";
+  add_escaped buf (Report.table_key tbl);
+  Buffer.add_string buf ", \"columns\": [";
+  let first = ref true in
+  List.iter
+    (fun (c : Report.column) ->
+      add_sep buf first;
+      Buffer.add_string buf "{\"title\": ";
+      add_escaped buf c.Report.title;
+      (match c.Report.unit_ with
+      | Some u ->
+          Buffer.add_string buf ", \"unit\": ";
+          add_escaped buf u
+      | None -> ());
+      Buffer.add_char buf '}')
+    (Report.columns tbl);
+  Buffer.add_string buf "], \"rows\": [";
+  let first = ref true in
+  List.iter
+    (fun row ->
+      add_sep buf first;
+      match row with
+      | Report.Rule -> Buffer.add_string buf "{\"rule\": true}"
+      | Report.Row cells ->
+          Buffer.add_string buf "{\"cells\": [";
+          let fc = ref true in
+          List.iter
+            (fun c ->
+              add_sep buf fc;
+              add_cell buf c)
+            cells;
+          Buffer.add_string buf "]}")
+    (Report.rows tbl);
+  Buffer.add_string buf "]}"
+
+let add_item buf item =
+  match item with
+  | Report.Table tbl -> add_table buf tbl
+  | Report.Note text ->
+      Buffer.add_string buf "{\"type\": \"note\", \"text\": ";
+      add_escaped buf text;
+      Buffer.add_char buf '}'
+  | Report.Metric m ->
+      Buffer.add_string buf "{\"type\": \"metric\", \"key\": ";
+      add_escaped buf m.Report.mkey;
+      Buffer.add_string buf ", \"value\": ";
+      add_float buf m.Report.value;
+      (match m.Report.munit with
+      | Some u ->
+          Buffer.add_string buf ", \"unit\": ";
+          add_escaped buf u
+      | None -> ());
+      if m.Report.mvolatile then Buffer.add_string buf ", \"volatile\": true";
+      (match m.Report.display with
+      | Some d ->
+          Buffer.add_string buf ", \"display\": ";
+          add_escaped buf d
+      | None -> ());
+      Buffer.add_char buf '}'
+  | Report.Series s ->
+      Buffer.add_string buf "{\"type\": \"series\", \"key\": ";
+      add_escaped buf s.Report.skey;
+      Buffer.add_string buf ", \"x\": ";
+      add_escaped buf s.Report.x_label;
+      Buffer.add_string buf ", \"y\": ";
+      add_escaped buf s.Report.y_label;
+      Buffer.add_string buf ", \"points\": [";
+      Array.iteri
+        (fun i (x, y) ->
+          if i > 0 then Buffer.add_string buf ", ";
+          Buffer.add_char buf '[';
+          add_float buf x;
+          Buffer.add_string buf ", ";
+          add_float buf y;
+          Buffer.add_char buf ']')
+        s.Report.points;
+      Buffer.add_string buf "]}"
+
+let to_string r =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": ";
+  add_escaped buf schema;
+  Buffer.add_string buf ",\n  \"name\": ";
+  add_escaped buf (Report.name r);
+  Buffer.add_string buf ",\n  \"meta\": {";
+  let first = ref true in
+  List.iter
+    (fun (k, v) ->
+      add_sep buf first;
+      add_escaped buf k;
+      Buffer.add_string buf ": ";
+      add_float buf v)
+    (Report.meta r);
+  Buffer.add_string buf "},\n  \"sections\": [\n";
+  let nsec = List.length (Report.sections r) in
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf "    {\"title\": ";
+      add_escaped buf (Report.section_title s);
+      Buffer.add_string buf ", \"items\": [\n";
+      let nitems = List.length (Report.items s) in
+      List.iteri
+        (fun j item ->
+          Buffer.add_string buf "      ";
+          add_item buf item;
+          Buffer.add_string buf (if j = nitems - 1 then "\n" else ",\n"))
+        (Report.items s);
+      Buffer.add_string buf "    ]}";
+      Buffer.add_string buf (if i = nsec - 1 then "\n" else ",\n"))
+    (Report.sections r);
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Generic JSON parser (no external dependency)                        *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | Some _ | None -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "at %d: expected %c, found %c" c.pos ch x
+  | None -> parse_error "at %d: expected %c, found end of input" c.pos ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_error "at %d: invalid literal" c.pos
+
+let parse_string_body c =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "at %d: unterminated string" c.pos
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; go ()
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then
+              parse_error "at %d: truncated \\u escape" c.pos;
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with Failure _ -> parse_error "at %d: bad \\u escape" c.pos
+            in
+            (* The writer only escapes control characters this way; decode
+               the Latin-1 range and reject the rest. *)
+            if code < 0x100 then Buffer.add_char buf (Char.chr code)
+            else parse_error "at %d: unsupported \\u escape" c.pos;
+            go ()
+        | Some ch -> parse_error "at %d: bad escape \\%c" c.pos ch
+        | None -> parse_error "at %d: unterminated escape" c.pos)
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    (ch >= '0' && ch <= '9')
+    || ch = '-' || ch = '+' || ch = '.' || ch = 'e' || ch = 'E'
+  in
+  let rec go () =
+    match peek c with
+    | Some ch when is_num_char ch ->
+        advance c;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let lexeme = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt lexeme with
+  | Some x -> Num x
+  | None -> parse_error "at %d: bad number %S" start lexeme
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "at %d: unexpected end of input" c.pos
+  | Some '"' ->
+      advance c;
+      Str (parse_string_body c)
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws c;
+          expect c '"';
+          let key = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              fields ((key, v) :: acc)
+          | Some '}' ->
+              advance c;
+              List.rev ((key, v) :: acc)
+          | _ -> parse_error "at %d: expected , or } in object" c.pos
+        in
+        Obj (fields [])
+      end
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              advance c;
+              elements (v :: acc)
+          | Some ']' ->
+              advance c;
+              List.rev (v :: acc)
+          | _ -> parse_error "at %d: expected , or ] in array" c.pos
+        in
+        List (elements [])
+      end
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "at %d: unexpected character %c" c.pos ch
+
+let parse_json s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    parse_error "at %d: trailing garbage after document" c.pos;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Decoding into the IR                                                *)
+(* ------------------------------------------------------------------ *)
+
+let field obj key =
+  match obj with
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let get_string what v =
+  match v with Str s -> s | _ -> parse_error "%s: expected string" what
+
+let get_number what v =
+  match v with
+  | Num x -> x
+  | Str "NaN" | Null -> Float.nan
+  | Str "Infinity" -> Float.infinity
+  | Str "-Infinity" -> Float.neg_infinity
+  | _ -> parse_error "%s: expected number" what
+
+let get_list what v =
+  match v with List l -> l | _ -> parse_error "%s: expected array" what
+
+let req what obj key =
+  match field obj key with
+  | Some v -> v
+  | None -> parse_error "%s: missing field %S" what key
+
+let opt_string what obj key = Option.map (get_string what) (field obj key)
+
+let get_bool what v =
+  match v with Bool b -> b | _ -> parse_error "%s: expected bool" what
+
+let decode_cell v =
+  match
+    (field v "s", field v "i", field v "f", field v "p", field v "v")
+  with
+  | Some s, None, None, None, None -> Report.str (get_string "cell.s" s)
+  | None, Some n, None, None, None ->
+      Report.int (int_of_float (get_number "cell.i" n))
+  | None, None, Some n, None, None ->
+      let d = int_of_float (get_number "cell.d" (req "cell" v "d")) in
+      Report.float ~decimals:d (get_number "cell.f" n)
+  | None, None, None, Some n, None ->
+      let d = int_of_float (get_number "cell.d" (req "cell" v "d")) in
+      Report.pct ~decimals:d (get_number "cell.p" n)
+  | None, None, None, None, Some n ->
+      let d = int_of_float (get_number "cell.d" (req "cell" v "d")) in
+      Report.seconds ~decimals:d (get_number "cell.v" n)
+  | _ -> parse_error "cell: expected exactly one of s/i/f/p/v"
+
+let decode_item section v =
+  match field v "rule" with
+  | Some _ -> parse_error "item: stray rule outside a table"
+  | None -> (
+      match get_string "item.type" (req "item" v "type") with
+      | "note" -> Report.note section (get_string "note.text" (req "note" v "text"))
+      | "metric" -> (
+          let key = get_string "metric.key" (req "metric" v "key") in
+          let value = get_number "metric.value" (req "metric" v "value") in
+          let unit = opt_string "metric.unit" v "unit" in
+          let volatile =
+            match field v "volatile" with
+            | Some b -> get_bool "metric.volatile" b
+            | None -> false
+          in
+          match opt_string "metric.display" v "display" with
+          | Some display ->
+              Report.metricf section ~key ?unit ~volatile value "%s" display
+          | None -> Report.metric section ~key ?unit ~volatile value)
+      | "series" ->
+          let key = get_string "series.key" (req "series" v "key") in
+          let x = get_string "series.x" (req "series" v "x") in
+          let y = get_string "series.y" (req "series" v "y") in
+          let points =
+            get_list "series.points" (req "series" v "points")
+            |> List.map (fun p ->
+                   match get_list "series.point" p with
+                   | [ px; py ] ->
+                       (get_number "point.x" px, get_number "point.y" py)
+                   | _ -> parse_error "series point: expected [x, y]")
+            |> Array.of_list
+          in
+          Report.series section ~key ~x ~y points
+      | "table" ->
+          let key = get_string "table.key" (req "table" v "key") in
+          let columns =
+            get_list "table.columns" (req "table" v "columns")
+            |> List.map (fun cv ->
+                   Report.col
+                     ?unit:(opt_string "column.unit" cv "unit")
+                     (get_string "column.title" (req "column" cv "title")))
+          in
+          let tbl = Report.table section ~key ~columns () in
+          List.iter
+            (fun rv ->
+              match field rv "rule" with
+              | Some _ -> Report.rule tbl
+              | None ->
+                  Report.row tbl
+                    (List.map decode_cell
+                       (get_list "row.cells" (req "row" rv "cells"))))
+            (get_list "table.rows" (req "table" v "rows"))
+      | other -> parse_error "item: unknown type %S" other)
+
+let decode v =
+  let got_schema = get_string "schema" (req "report" v "schema") in
+  if got_schema <> schema then
+    parse_error "unsupported schema %S (want %S)" got_schema schema;
+  let name = get_string "name" (req "report" v "name") in
+  let meta =
+    match field v "meta" with
+    | None -> []
+    | Some (Obj fields) ->
+        List.map (fun (k, mv) -> (k, get_number "meta" mv)) fields
+    | Some _ -> parse_error "meta: expected object"
+  in
+  let r = Report.create ~meta ~name () in
+  List.iter
+    (fun sv ->
+      let s =
+        Report.section r (get_string "section.title" (req "section" sv "title"))
+      in
+      List.iter (decode_item s) (get_list "section.items" (req "section" sv "items")))
+    (get_list "sections" (req "report" v "sections"));
+  r
+
+let of_string s =
+  match decode (parse_json s) with
+  | r -> Ok r
+  | exception Parse_error msg -> Error msg
+  | exception Invalid_argument msg -> Error msg

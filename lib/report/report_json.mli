@@ -1,0 +1,18 @@
+(** JSON backend for {!Report}: the machine artifact consumed by
+    [brokerctl report diff] and the CI golden job.
+
+    The document is schema-versioned ([brokerset-report/1]) and emitted
+    with a fixed key order, so equal reports serialize to byte-identical
+    strings. Floats round-trip exactly; JSON has no non-finite numbers, so
+    NaN and infinities are written as the strings ["NaN"] /
+    ["Infinity"] / ["-Infinity"] and parse back losslessly. *)
+
+val schema : string
+(** ["brokerset-report/1"] *)
+
+val to_string : Report.t -> string
+(** Serialize (stable key order, trailing newline). *)
+
+val of_string : string -> (Report.t, string) result
+(** Parse a document produced by {!to_string}. Self-contained
+    recursive-descent parser — no external JSON dependency. *)

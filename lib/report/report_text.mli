@@ -1,0 +1,26 @@
+(** Text backend for {!Report}: reproduces the historical terminal output
+    byte for byte (verified against captured seed output in
+    [test/goldens/text/] and by the CI golden job).
+
+    Rendering rules: a 72-[=] banner per section; tables through
+    {!Broker_util.Table.render} with cells formatted by
+    {!Report.cell_text}; notes and metric display strings verbatim; silent
+    metrics and series emit nothing. *)
+
+val render : Report.t -> string
+val pp : Format.formatter -> Report.t -> unit
+
+val print : Report.t -> unit
+(** Render to the current output formatter (see {!set_out}). *)
+
+val out : unit -> Format.formatter
+(** The formatter report text goes to ({!Format.std_formatter} unless
+    {!set_out} changed it). *)
+
+val set_out : Format.formatter -> unit
+(** Redirect all report text — e.g. into a buffer for tests or a per-run
+    log file. This is the only mutable output state in the library. *)
+
+val flush : unit -> unit
+(** Flush the current output formatter (called between experiments so
+    channel- and formatter-level output interleave correctly). *)

@@ -1,7 +1,9 @@
-(** Aligned plain-text tables for the experiment harness output.
+(** Aligned plain-text tables: pure row/column data plus a string
+    renderer.
 
-    Every table/figure reproduction prints through this module so the bench
-    output is uniform and diffable. *)
+    Every table/figure reproduction renders through this module (via the
+    [Broker_report.Report_text] backend) so the bench output is uniform
+    and diffable. *)
 
 type align = Left | Right
 
@@ -19,9 +21,6 @@ val add_rule : t -> unit
 
 val render : t -> string
 (** The formatted table, newline terminated. *)
-
-val print : ?ppf:Format.formatter -> t -> unit
-(** [render] to [ppf] (default {!Format.std_formatter}) and flush. *)
 
 val cell_float : ?decimals:int -> float -> string
 val cell_pct : ?decimals:int -> float -> string

@@ -125,13 +125,21 @@ let test_ext_chaos_rows () =
 
 let test_all_experiments_run () =
   let ctx = tiny_ctx () in
-  with_quiet_stdout (fun () -> E.All.run_all ctx);
-  check_bool "completed" true true
+  let reports = with_quiet_stdout (fun () -> E.All.run_all ctx) in
+  check_int "one report per registry entry"
+    (List.length E.All.experiments)
+    (List.length reports);
+  List.iter2
+    (fun (e : E.All.experiment) (id, r) ->
+      check_bool "registry order" true (String.equal e.id id);
+      check_bool "report named after id" true
+        (String.equal (Broker_report.Report.name r) e.id))
+    E.All.experiments reports
 
 let test_run_one_unknown () =
   let ctx = tiny_ctx () in
   match E.All.run_one ctx "nonsense" with
-  | Ok () -> Alcotest.fail "should not resolve"
+  | Ok _ -> Alcotest.fail "should not resolve"
   | Error msg -> check_bool "helpful error" true (contains ~needle:"table1" msg)
 
 let test_find () =

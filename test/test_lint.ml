@@ -103,6 +103,17 @@ let r6 =
   test_rule ~rule:"no-list-nth" ~bad:"r6_bad.ml" ~bad_lines:[ 7; 15 ]
     ~good:"r6_good.ml"
 
+let r7 () =
+  check_bad ~rule:"report-pure" ~file:"r7_bad.ml" ~lines:[ 5; 6; 7 ]
+    (run_lint [ "--experiments"; fixture "r7_bad.ml" ]);
+  check_clean ~file:"r7_good.ml"
+    (run_lint [ "--lib"; "--experiments"; fixture "r7_good.ml" ])
+
+let r7_scope () =
+  (* R7 only binds experiment modules: the same file lints clean outside
+     --experiments (and outside lib/experiments/). *)
+  check_clean ~file:"r7_bad.ml" (run_lint [ fixture "r7_bad.ml" ])
+
 let whole_directory () =
   (* Directory mode aggregates every bad fixture and none of the clean
      ones; diagnostics come out sorted by file for stable diffs. *)
@@ -117,7 +128,7 @@ let whole_directory () =
         (f ^ " not flagged") false
         (contains r.output (f ^ ":")))
     [ "r1_good.ml"; "r2_good.ml"; "r3_good.ml"; "r4_good.ml"; "r5_good.ml";
-      "r6_good.ml"; "r1_suppressed.ml" ]
+      "r6_good.ml"; "r7_good.ml"; "r7_bad.ml"; "r1_suppressed.ml" ]
 
 let repo_lib_clean () =
   (* The repo as shipped lints clean; lib/ is the strictest subtree and
@@ -145,6 +156,8 @@ let () =
           Alcotest.test_case "R4 domain-confinement" `Quick r4;
           Alcotest.test_case "R5 no-stdout-in-lib" `Quick r5;
           Alcotest.test_case "R6 no-list-nth" `Quick r6;
+          Alcotest.test_case "R7 report-pure" `Quick r7;
+          Alcotest.test_case "R7 scope" `Quick r7_scope;
         ] );
       ( "driver",
         [

@@ -31,6 +31,11 @@
    - R6 [no-list-nth]: [List.nth] and [( @ )] inside [for]/[while] loop
      bodies are almost always accidentally-quadratic; index an array or
      restructure.
+   - R7 [report-pure]: experiment modules (lib/experiments/) must not
+     print through the retired [Ctx] output helpers ([Ctx.printf],
+     [Ctx.table], ...); they build a [Broker_report.Report.t] and let the
+     harness pick a backend. Applies automatically under
+     [lib/experiments/]; [--experiments] forces it (fixture/test mode).
 
    Any finding is suppressible by putting [(* brokerlint: allow <rule> *)]
    on the offending line. *)
@@ -45,6 +50,7 @@ module Rule = struct
     | Domain_confinement
     | No_stdout_in_lib
     | No_list_nth
+    | Report_pure
 
   let name = function
     | No_poly_compare -> "no-poly-compare"
@@ -53,6 +59,7 @@ module Rule = struct
     | Domain_confinement -> "domain-confinement"
     | No_stdout_in_lib -> "no-stdout-in-lib"
     | No_list_nth -> "no-list-nth"
+    | Report_pure -> "report-pure"
 
   (* Total order for stable reports: file, then line, then rule id. *)
   let id = function
@@ -62,6 +69,7 @@ module Rule = struct
     | Domain_confinement -> 4
     | No_stdout_in_lib -> 5
     | No_list_nth -> 6
+    | Report_pure -> 7
 end
 
 type violation = {
@@ -144,6 +152,15 @@ let is_poly_comparator = function
   | [ ("compare" | "=" | "<" | ">" | "<=" | ">=" | "<>") ] -> true
   | _ -> false
 
+(* The retired [Ctx] output surface: any dotted path ending in
+   [Ctx.<one of these>] is a text-backend bypass in an experiment module. *)
+let is_ctx_output = function
+  | "printf" | "table" | "section" | "out" | "set_out" | "flush_out" -> true
+  | _ -> false
+
+let ends_in_ctx_output p =
+  match List.rev p with op :: "Ctx" :: _ -> is_ctx_output op | _ -> false
+
 let is_stdout_printer = function
   | [
       ( "print_string" | "print_endline" | "print_newline" | "print_char"
@@ -162,6 +179,7 @@ let is_stdout_printer = function
 type file_ctx = {
   file : string;  (** path as reported in diagnostics *)
   in_lib : bool;  (** library-code rules (R1-bare, R2, R5) apply *)
+  in_experiments : bool;  (** experiment-module rules (R7) apply *)
   rng_exempt : bool;  (** this file IS the sanctioned RNG module *)
   spawn_exempt : bool;  (** this file IS the sanctioned parallel runner *)
 }
@@ -188,6 +206,12 @@ let check_ident ctx ~loop_depth p loc =
       report Rule.Domain_confinement
         "Domain.spawn outside lib/util/parallel.ml; use Parallel.chunked / \
          Parallel.map_array"
+  | p when ctx.in_experiments && ends_in_ctx_output p ->
+      report Rule.Report_pure
+        (Printf.sprintf
+           "%s in an experiment module; build a Broker_report.Report.t and \
+            let the harness pick a backend"
+           (String.concat "." p))
   | p when ctx.in_lib && is_stdout_printer p ->
       report Rule.No_stdout_in_lib
         (Printf.sprintf
@@ -255,6 +279,8 @@ let is_lib_path f =
   let f = normalize f in
   (String.length f >= 4 && String.sub f 0 4 = "lib/") || contains_substring f "/lib/"
 
+let is_experiments_path f = contains_substring (normalize f) "lib/experiments/"
+
 let has_suffix s suf =
   let ns = String.length s and nf = String.length suf in
   ns >= nf && String.sub s (ns - nf) nf = suf
@@ -275,13 +301,14 @@ let parse_implementation file =
      produces locations already anchored to [file]. *)
   Pparse.parse_implementation ~tool_name:"brokerlint" file
 
-let scan_file ~force_lib file =
+let scan_file ~force_lib ~force_experiments file =
   let file = normalize file in
   let in_lib = force_lib || is_lib_path file in
   let ctx =
     {
       file;
       in_lib;
+      in_experiments = force_experiments || is_experiments_path file;
       rng_exempt = has_suffix file "lib/util/xrandom.ml";
       spawn_exempt = has_suffix file "lib/util/parallel.ml";
     }
@@ -300,20 +327,25 @@ let scan_file ~force_lib file =
 (* ------------------------------------------------------------------ *)
 
 let usage =
-  "brokerlint [--lib] [path ...]\n\
+  "brokerlint [--lib] [--experiments] [path ...]\n\
    Lint .ml files under the given files/directories (default: lib bin bench \
    examples).\n\
-  \  --lib   treat every scanned file as library code (fixture/test mode)\n\
+  \  --lib          treat every scanned file as library code (fixture/test \
+   mode)\n\
+  \  --experiments  treat every scanned file as an experiment module \
+   (fixture/test mode)\n\
    Exit codes: 0 clean, 1 violations found, 2 usage or parse error."
 
 let () =
   let force_lib = ref false in
+  let force_experiments = ref false in
   let paths = ref [] in
   Array.iteri
     (fun i arg ->
       if i > 0 then
         match arg with
         | "--lib" -> force_lib := true
+        | "--experiments" -> force_experiments := true
         | "--help" | "-help" ->
             print_endline usage;
             exit 0
@@ -336,7 +368,10 @@ let () =
         List.rev (collect_ml [] p))
       paths
   in
-  (try List.iter (scan_file ~force_lib:!force_lib) files
+  (try
+     List.iter
+       (scan_file ~force_lib:!force_lib ~force_experiments:!force_experiments)
+       files
    with exn ->
      Location.report_exception Format.err_formatter exn;
      exit 2);

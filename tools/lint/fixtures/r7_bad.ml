@@ -1,0 +1,7 @@
+(* Fixture (brokerlint: allow mli-complete): R7 report-pure — an experiment
+   module printing through the retired Ctx output surface. *)
+
+let run ctx =
+  Ctx.printf ctx "saturated = %.2f%%\n" 98.5;
+  Ctx.table ctx [ ("k", 100); ("coverage", 92) ];
+  Broker_experiments.Ctx.section ctx "Table 1"
