@@ -14,11 +14,24 @@
                               at REPRO_SCALE (Table 1 / Fig 2a shape)
      main.exe --list          list experiment ids
 
+     main.exe --obs-overhead  time the connectivity kernel pair only (no
+                              gate): CI runs this on the default build and
+                              on --profile obs-absent and compares medians
+                              to bound the disabled-probe overhead
+
+   The JSON trajectory follows schema brokerset-bench/2: per kernel the
+   median ns/run plus median GC allocation per run (minor_words /
+   major_words), a "counters" object with the deterministic
+   Broker_obs.Metrics fingerprint of one projected-connectivity pass,
+   and the derived speedups.
+
    Environment: REPRO_SCALE (default 1.0), REPRO_SOURCES (default 192),
-   REPRO_SEED (default 42) — see Broker_experiments.Ctx. *)
+   REPRO_SEED (default 42), REPRO_TRACE (write a Chrome trace of the
+   run) — see Broker_experiments.Ctx and Broker_obs. *)
 
 module E = Broker_experiments
 module Report_text = Broker_report.Report_text
+module Obs = Broker_obs
 
 (* Timing kernels run on a small fixed-scale context so each iteration is
    milliseconds; the correctness-bearing full-scale run happens above. *)
@@ -40,8 +53,7 @@ let experiment_tests () =
 (* The legacy/projected pair must time the exact same evaluation (same
    brokers, same sources, same l_max): broker selection and source
    sampling are hoisted out of the staged thunks. *)
-let connectivity_pair ctx =
-  let open Bechamel in
+let connectivity_setup ctx =
   let g = E.Ctx.graph ctx in
   let n = Broker_graph.Graph.n g in
   let brokers = Broker_core.Baselines.db g ~k:100 in
@@ -51,6 +63,11 @@ let connectivity_pair ctx =
       (Broker_util.Xrandom.create 3)
       ~n ~k:(min 32 n)
   in
+  (g, is_broker, srcs)
+
+let connectivity_pair ctx =
+  let open Bechamel in
+  let g, is_broker, srcs = connectivity_setup ctx in
   [
     Test.make ~name:"connectivity/legacy"
       (Staged.stage (fun () ->
@@ -134,20 +151,32 @@ let chaos_tests () =
 (* Timing statistics and the JSON perf trajectory                      *)
 (* ------------------------------------------------------------------ *)
 
-type kernel_stat = { name : string; median_ns : float; samples : int }
+type kernel_stat = {
+  name : string;
+  median_ns : float;
+  samples : int;
+  minor_words : float;  (* median minor-heap words allocated per run *)
+  major_words : float;  (* median words allocated directly on the major heap *)
+}
 
 let clock_label =
   Bechamel.Measure.label Bechamel.Toolkit.Instance.monotonic_clock
 
-(* Median ns/run over the raw samples — robust against the multi-modal
-   noise (GC, frequency scaling) that skews a mean or an OLS fit on short
-   CI runs, and what the BENCH_*.json trajectory records per kernel. *)
-let median_ns (b : Bechamel.Benchmark.t) =
+let minor_label =
+  Bechamel.Measure.label Bechamel.Toolkit.Instance.minor_allocated
+
+let major_label =
+  Bechamel.Measure.label Bechamel.Toolkit.Instance.major_allocated
+
+(* Median per-run value of one recorded measure — robust against the
+   multi-modal noise (GC, frequency scaling) that skews a mean or an OLS
+   fit on short CI runs, and what the BENCH_*.json trajectory records per
+   kernel (time and allocation alike). *)
+let median_of ~label (b : Bechamel.Benchmark.t) =
   let per_run =
     Array.map
       (fun m ->
-        Bechamel.Measurement_raw.get ~label:clock_label m
-        /. Bechamel.Measurement_raw.run m)
+        Bechamel.Measurement_raw.get ~label m /. Bechamel.Measurement_raw.run m)
       b.Bechamel.Benchmark.lr
   in
   Array.sort Float.compare per_run;
@@ -158,7 +187,9 @@ let median_ns (b : Bechamel.Benchmark.t) =
 
 let run_suite ~quota name tests =
   let open Bechamel in
-  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let instances =
+    Toolkit.Instance.[ monotonic_clock; minor_allocated; major_allocated ]
+  in
   let cfg =
     Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~stabilize:false ()
   in
@@ -168,8 +199,10 @@ let run_suite ~quota name tests =
       (fun key (b : Benchmark.t) acc ->
         {
           name = key;
-          median_ns = median_ns b;
+          median_ns = median_of ~label:clock_label b;
           samples = Array.length b.Benchmark.lr;
+          minor_words = median_of ~label:minor_label b;
+          major_words = median_of ~label:major_label b;
         }
         :: acc)
       raw []
@@ -179,7 +212,9 @@ let run_suite ~quota name tests =
 let print_suite name stats =
   Printf.printf "\n-- Bechamel timings: %s (median) --\n%!" name;
   List.iter
-    (fun s -> Printf.printf "%-44s %12.3f ms/run\n" s.name (s.median_ns /. 1e6))
+    (fun s ->
+      Printf.printf "%-44s %12.3f ms/run %14.0f minor-w %10.0f major-w\n"
+        s.name (s.median_ns /. 1e6) s.minor_words s.major_words)
     stats
 
 let find_stat stats suffix =
@@ -204,10 +239,10 @@ let fullscale_speedup stats =
   pair_speedup stats ~legacy:"connectivity_fullscale/legacy"
     ~projected:"connectivity_fullscale/projected"
 
-let write_json ~path suites =
+let write_json ~path ?(counters = []) suites =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"brokerset-bench/1\",\n";
+  Buffer.add_string buf "  \"schema\": \"brokerset-bench/2\",\n";
   Printf.bprintf buf "  \"quota_s\": 2.0,\n";
   Buffer.add_string buf "  \"suites\": {\n";
   let n_suites = List.length suites in
@@ -218,13 +253,21 @@ let write_json ~path suites =
       List.iteri
         (fun j s ->
           Printf.bprintf buf
-            "      {\"name\": %S, \"median_ns\": %.1f, \"samples\": %d}%s\n"
-            s.name s.median_ns s.samples
+            "      {\"name\": %S, \"median_ns\": %.1f, \"samples\": %d,              \"minor_words\": %.1f, \"major_words\": %.1f}%s\n"
+            s.name s.median_ns s.samples s.minor_words s.major_words
             (if j = n - 1 then "" else ","))
         stats;
       Printf.bprintf buf "    ]%s\n" (if i = n_suites - 1 then "" else ","))
     suites;
   Buffer.add_string buf "  },\n";
+  if counters <> [] then begin
+    Buffer.add_string buf "  \"counters\": {";
+    List.iteri
+      (fun i (k, v) ->
+        Printf.bprintf buf "%s\"%s\": %d" (if i = 0 then "" else ", ") k v)
+      counters;
+    Buffer.add_string buf "},\n"
+  end;
   let all_stats = List.concat_map snd suites in
   let derived =
     List.filter_map
@@ -264,14 +307,30 @@ let fullscale_pair () =
   in
   let reps = 3 in
   let timed name f =
-    let samples =
-      Array.init reps (fun _ ->
-          let t0 = Unix.gettimeofday () in
-          f ();
-          (Unix.gettimeofday () -. t0) *. 1e9)
+    let ns = Array.make reps 0.0 in
+    let minor = Array.make reps 0.0 in
+    let major = Array.make reps 0.0 in
+    for i = 0 to reps - 1 do
+      let s0 = Gc.quick_stat () in
+      let t0 = Unix.gettimeofday () in
+      f ();
+      let t1 = Unix.gettimeofday () in
+      let s1 = Gc.quick_stat () in
+      ns.(i) <- (t1 -. t0) *. 1e9;
+      minor.(i) <- s1.Gc.minor_words -. s0.Gc.minor_words;
+      major.(i) <- s1.Gc.major_words -. s0.Gc.major_words
+    done;
+    let med a =
+      Array.sort Float.compare a;
+      a.(reps / 2)
     in
-    Array.sort Float.compare samples;
-    { name; median_ns = samples.(reps / 2); samples = reps }
+    {
+      name;
+      median_ns = med ns;
+      samples = reps;
+      minor_words = med minor;
+      major_words = med major;
+    }
   in
   [
     timed "connectivity_fullscale/legacy" (fun () ->
@@ -282,6 +341,50 @@ let fullscale_pair () =
         ignore
           (Broker_core.Connectivity.eval_sources ~l_max:10 g ~is_broker srcs));
   ]
+
+(* One instrumented pass of the projected connectivity kernel at a fixed
+   small scale: the deterministic Broker_obs counter fingerprint attached
+   to the brokerset-bench/2 JSON. Runs outside the timed iterations so
+   Bechamel's adaptive sample counts cannot perturb the counts, and resets
+   the registry first so earlier suites don't leak in. Empty under
+   --profile obs-absent. *)
+let counter_snapshot () =
+  if not Obs.Control.available then []
+  else begin
+    let was_enabled = Obs.Control.enabled () in
+    Obs.Control.set_enabled true;
+    Obs.Metrics.reset ();
+    let g, is_broker, srcs =
+      connectivity_setup (E.Ctx.create ~scale:0.02 ~sources:32 ~seed:11 ())
+    in
+    ignore (Broker_core.Connectivity.eval_sources ~l_max:10 g ~is_broker srcs);
+    let snap = Obs.Metrics.deterministic (Obs.Metrics.snapshot ()) in
+    Obs.Control.set_enabled was_enabled;
+    List.filter_map
+      (fun (e : Obs.Metrics.entry) ->
+        match e.Obs.Metrics.value with
+        | Obs.Metrics.Counter v | Obs.Metrics.Gauge_max v ->
+            Some (e.Obs.Metrics.name, v)
+        | Obs.Metrics.Histogram _ -> None)
+      snap
+  end
+
+(* CI obs-overhead job: time the small-scale connectivity pair alone. The
+   job runs this twice — on the default build (probes compiled in,
+   disabled) and on --profile obs-absent (probes constant-folded away) —
+   and fails if the disabled median exceeds the absent one by more than
+   1%. *)
+let obs_overhead ~json () =
+  let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:11 () in
+  let stats = run_suite ~quota:2.0 "kernels" (connectivity_pair ctx) in
+  let label =
+    if Obs.Control.available then "kernels (obs compiled in, disabled)"
+    else "kernels (obs absent)"
+  in
+  print_suite label stats;
+  match json with
+  | Some path -> write_json ~path [ ("kernels", stats) ]
+  | None -> ()
 
 let run_timings ~json ~fullscale () =
   let suites =
@@ -301,7 +404,9 @@ let run_timings ~json ~fullscale () =
   | Some s ->
       Printf.printf "connectivity full-scale projected vs legacy: %.2fx\n" s
   | None -> ());
-  match json with Some path -> write_json ~path suites | None -> ()
+  match json with
+  | Some path -> write_json ~path ~counters:(counter_snapshot ()) suites
+  | None -> ()
 
 (* CI perf gate: time only the connectivity kernel pair at small scale and
    fail unless the projected engine beats the legacy path. *)
@@ -309,7 +414,10 @@ let perf_smoke ~json () =
   let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:11 () in
   let stats = run_suite ~quota:1.0 "kernels" (connectivity_pair ctx) in
   print_suite "kernels (perf smoke)" stats;
-  (match json with Some path -> write_json ~path [ ("kernels", stats) ] | None -> ());
+  (match json with
+  | Some path ->
+      write_json ~path ~counters:(counter_snapshot ()) [ ("kernels", stats) ]
+  | None -> ());
   match connectivity_speedup stats with
   | Some s when s > 1.0 ->
       Printf.printf "perf-smoke OK: projected engine is %.2fx faster\n" s
@@ -331,6 +439,13 @@ let () =
         | "warning" -> Some Logs.Warning
         | _ -> Some Logs.Info)
   | None -> ());
+  (* REPRO_TRACE=FILE arms the span ring for the whole bench run; the
+     Chrome trace is flushed by the trailing top-level binding below. *)
+  (match Sys.getenv_opt "REPRO_TRACE" with
+  | Some path when path <> "" ->
+      Obs.Control.set_enabled true;
+      Obs.Trace.arm ()
+  | Some _ | None -> ());
   let rec parse flags json ids = function
     | [] -> (List.rev flags, json, List.rev ids)
     | [ "--json" ] ->
@@ -349,6 +464,7 @@ let () =
         Printf.printf "%-18s %s\n" e.E.All.id e.E.All.description)
       E.All.experiments
   else if has "--perf-smoke" then perf_smoke ~json ()
+  else if has "--obs-overhead" then obs_overhead ~json ()
   else begin
     let timings_only = has "--timings" in
     if not timings_only then begin
@@ -383,3 +499,11 @@ let () =
     if timings_only || ids = [] then
       run_timings ~json ~fullscale:(has "--fullscale") ()
   end
+
+let () =
+  match Sys.getenv_opt "REPRO_TRACE" with
+  | Some path when path <> "" && Obs.Trace.armed () ->
+      if Obs.Trace.write ~path then
+        Printf.eprintf "trace: %d events (%d dropped) -> %s\n%!"
+          (Obs.Trace.recorded ()) (Obs.Trace.dropped ()) path
+  | Some _ | None -> ()

@@ -359,12 +359,71 @@ module Report_json = Broker_report.Report_json
 module Report_csv = Broker_report.Report_csv
 module Report_diff = Broker_report.Report_diff
 
+let write_file ~regen path contents =
+  if (not regen) && Sys.file_exists path then begin
+    Printf.eprintf
+      "refusing to overwrite %s (pass --regen to regenerate artifacts)\n" path;
+    exit 1
+  end;
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* observability: --trace/--metrics/--obs-summary on `run`, plus the
+   REPRO_TRACE env hook honored by both `run` and `experiment`. *)
+module Obs = Broker_obs
+
+let obs_env_trace () =
+  match Sys.getenv_opt "REPRO_TRACE" with
+  | Some p when not (String.equal p "") -> Some p
+  | Some _ | None -> None
+
+let obs_begin ~trace ~metrics ~summary =
+  let trace =
+    match trace with Some p -> Some p | None -> obs_env_trace ()
+  in
+  if Option.is_some trace || Option.is_some metrics || summary then
+    Obs.Control.set_enabled true;
+  if Option.is_some trace then Obs.Trace.arm ();
+  trace
+
+let write_trace path =
+  if Obs.Trace.write ~path then begin
+    (* The sink self-checks: a trace artifact that does not parse as JSON
+       is a bug, not a degraded artifact. *)
+    (match Report_json.json_of_string (Obs.Trace.to_chrome_json ()) with
+    | Ok _ -> ()
+    | Error msg ->
+        Printf.eprintf "internal error: trace JSON invalid: %s
+" msg;
+        exit 1);
+    Printf.eprintf "trace: %d events (%d dropped) -> %s
+"
+      (Obs.Trace.recorded ()) (Obs.Trace.dropped ()) path
+  end
+
+let obs_finish ~trace ~metrics ~summary ~regen =
+  let snap =
+    if Obs.Control.enabled () then Some (Obs.Metrics.snapshot ()) else None
+  in
+  (match trace with Some path -> write_trace path | None -> ());
+  match snap with
+  | None -> ()
+  | Some snap ->
+      (match metrics with
+      | Some path ->
+          write_file ~regen path (Broker_report.Report_obs.to_json snap ^ "\n")
+      | None -> ());
+      if summary then print_string (Broker_report.Report_obs.to_text snap)
+
 let experiment id =
+  let trace = obs_begin ~trace:None ~metrics:None ~summary:false in
   let ctx = Broker_experiments.Ctx.from_env () in
   match Broker_experiments.All.run_one ctx id with
   | Ok r ->
       Report_text.print r;
-      Report_text.flush ()
+      Report_text.flush ();
+      obs_finish ~trace ~metrics:None ~summary:false ~regen:false
   | Error msg ->
       prerr_endline msg;
       exit 2
@@ -392,17 +451,8 @@ let list_cmd =
     Term.(const list_experiments $ const ())
 
 (* run *)
-let write_file ~regen path contents =
-  if (not regen) && Sys.file_exists path then begin
-    Printf.eprintf
-      "refusing to overwrite %s (pass --regen to regenerate artifacts)\n" path;
-    exit 1
-  end;
-  let oc = open_out path in
-  output_string oc contents;
-  close_out oc
-
-let run_suite format out regen ids =
+let run_suite format out regen trace metrics obs_summary ids =
+  let trace = obs_begin ~trace ~metrics ~summary:obs_summary in
   let ctx = Broker_experiments.Ctx.from_env () in
   let selected =
     match ids with
@@ -440,7 +490,8 @@ let run_suite format out regen ids =
           (Report_csv.files r)
     | _ -> assert false
   in
-  List.iter (fun e -> emit e (Broker_experiments.All.report_of ctx e)) selected
+  List.iter (fun e -> emit e (Broker_experiments.All.report_of ctx e)) selected;
+  obs_finish ~trace ~metrics ~summary:obs_summary ~regen
 
 let run_cmd =
   let format =
@@ -461,11 +512,28 @@ let run_cmd =
     Arg.(value & pos_all string [] & info [] ~docv:"ID"
            ~doc:"Experiment ids to run (default: the whole suite, in registry order).")
   in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a Chrome trace-event file (Perfetto-loadable) of the \
+                 run into $(docv). The REPRO_TRACE env var is an equivalent \
+                 hook.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the end-of-run metrics snapshot as a \
+                 brokerset-report/1 JSON artifact into $(docv) (deterministic \
+                 counters diffable via `report diff`).")
+  in
+  let obs_summary =
+    Arg.(value & flag & info [ "obs-summary" ]
+           ~doc:"Print the metrics snapshot as a text table after the run.")
+  in
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run the reproduction suite through a report backend \
-             (env: REPRO_SCALE, REPRO_SOURCES, REPRO_SEED)")
-    Term.(const run_suite $ format $ out $ regen $ ids)
+             (env: REPRO_SCALE, REPRO_SOURCES, REPRO_SEED, REPRO_TRACE)")
+    Term.(const run_suite $ format $ out $ regen $ trace $ metrics
+          $ obs_summary $ ids)
 
 (* report diff *)
 let parse_tol spec =

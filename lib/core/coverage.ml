@@ -1,6 +1,8 @@
 module G = Broker_graph.Graph
 module Bitset = Broker_util.Bitset
 
+let m_adds = Broker_obs.Metrics.counter "coverage.adds"
+
 type t = {
   graph : G.t;
   broker : Bitset.t;
@@ -50,6 +52,7 @@ let push_order t v =
 
 let add t v =
   if not (Bitset.mem t.broker v) then begin
+    Broker_obs.Metrics.incr m_adds;
     Bitset.add t.broker v;
     push_order t v;
     t.n_brokers <- t.n_brokers + 1;

@@ -1,10 +1,22 @@
 module G = Broker_graph.Graph
 module Heap = Broker_util.Heap
+module Obs = Broker_obs
 
 let evaluations = ref 0
 let gain_evaluations () = !evaluations
 
+(* Deterministic selection counters: gain evaluations are shared with
+   [naive]; the hit/miss split is the CELF lazy-heap scorecard (a popped
+   entry whose recomputed gain is unchanged is accepted without a
+   re-push). *)
+let m_gain_evals = Obs.Metrics.counter "greedy.gain_evals"
+let m_lazy_hits = Obs.Metrics.counter "celf.lazy_hits"
+let m_lazy_misses = Obs.Metrics.counter "celf.lazy_misses"
+let t_naive = Obs.Trace.scope "greedy.naive"
+let t_celf = Obs.Trace.scope "celf.select"
+
 let naive g ~k =
+  Obs.Trace.with_span t_naive @@ fun () ->
   evaluations := 0;
   let cov = Coverage.create g in
   let n = G.n g in
@@ -14,6 +26,7 @@ let naive g ~k =
     for v = 0 to n - 1 do
       if not (Coverage.is_broker cov v) then begin
         incr evaluations;
+        Obs.Metrics.incr m_gain_evals;
         let gain = Coverage.gain cov v in
         (* Ties break toward the smaller id, matching CELF. *)
         if gain > !best_gain then begin
@@ -34,6 +47,7 @@ let priority_of ~n gain v =
   (float_of_int gain *. float_of_int (n + 1)) +. float_of_int (n - v)
 
 let celf_into cov ~k =
+  Obs.Trace.with_span t_celf @@ fun () ->
   let g = Coverage.graph cov in
   let n = G.n g in
   evaluations := 0;
@@ -42,6 +56,7 @@ let celf_into cov ~k =
   for v = 0 to n - 1 do
     if not (Coverage.is_broker cov v) then begin
       incr evaluations;
+      Obs.Metrics.incr m_gain_evals;
       let gain = Coverage.gain cov v in
       cached_gain.(v) <- gain;
       if gain > 0 then Heap.push heap ~priority:(priority_of ~n gain v) v
@@ -54,12 +69,15 @@ let celf_into cov ~k =
     | Some (_, v) ->
         if not (Coverage.is_broker cov v) then begin
           incr evaluations;
+          Obs.Metrics.incr m_gain_evals;
           let fresh = Coverage.gain cov v in
           if fresh = cached_gain.(v) then begin
+            Obs.Metrics.incr m_lazy_hits;
             if fresh = 0 then continue := false
             else Coverage.add cov v
           end
           else begin
+            Obs.Metrics.incr m_lazy_misses;
             cached_gain.(v) <- fresh;
             if fresh > 0 then Heap.push heap ~priority:(priority_of ~n fresh v) v
           end

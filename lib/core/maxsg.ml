@@ -1,5 +1,10 @@
 module G = Broker_graph.Graph
 module Heap = Broker_util.Heap
+module Obs = Broker_obs
+
+let m_lazy_hits = Obs.Metrics.counter "maxsg.lazy_hits"
+let m_lazy_misses = Obs.Metrics.counter "maxsg.lazy_misses"
+let t_run = Obs.Trace.scope "maxsg.run"
 
 let src = Logs.Src.create "broker.maxsg" ~doc:"MaxSubGraph-Greedy selection"
 
@@ -40,9 +45,11 @@ let grow cov ~k =
         if not (Coverage.is_broker cov v) then begin
           let fresh = Coverage.gain cov v in
           if fresh = cached_gain.(v) then begin
+            Obs.Metrics.incr m_lazy_hits;
             if fresh = 0 then continue := false else add_broker v
           end
           else begin
+            Obs.Metrics.incr m_lazy_misses;
             cached_gain.(v) <- fresh;
             if fresh > 0 then Heap.push heap ~priority:(priority_of ~n fresh v) v
           end
@@ -50,6 +57,7 @@ let grow cov ~k =
   done
 
 let run g ~k =
+  Obs.Trace.with_span t_run @@ fun () ->
   let n = G.n g in
   if n = 0 || k <= 0 then [||]
   else begin

@@ -5,10 +5,10 @@ let small_topo ctx factor =
   let params = { (Broker_topo.Internet.scaled factor) with seed = Ctx.seed ctx } in
   (Broker_topo.Internet.generate params).Broker_topo.Topology.graph
 
-let time f =
-  let t0 = Sys.time () in
-  let x = f () in
-  (x, Sys.time () -. t0)
+(* Timing goes through the obs clock (brokerlint R8, clock-discipline):
+   monotonic, and the resulting cells stay flagged volatile via
+   [Report.seconds]. *)
+let time = Broker_obs.Clock.time
 
 let celf_vs_naive ctx =
   let rep = Report.create ~name:"ablation_celf" () in

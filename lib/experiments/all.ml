@@ -1,4 +1,7 @@
 module Report = Broker_report.Report
+module Obs = Broker_obs
+
+let m_runs = Obs.Metrics.counter "experiments.runs"
 
 type experiment = {
   id : string;
@@ -50,7 +53,10 @@ let run_meta ctx =
   ]
 
 let report_of ctx e =
+  Obs.Metrics.incr m_runs;
+  let tr0 = Obs.Trace.enter () in
   let r = e.report ctx in
+  if Obs.Trace.armed () then Obs.Trace.leave_named ("experiment." ^ e.id) tr0;
   Report.set_meta r (run_meta ctx);
   r
 

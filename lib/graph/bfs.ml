@@ -159,6 +159,23 @@ let ensure ws n =
 let alpha = 14
 let beta = 24
 
+(* Observability probes (Broker_obs): all counters are commutative int
+   sums, so totals are REPRO_DOMAINS-independent and diffable; per-level
+   tallies accumulate in locals and flush once per run, keeping the
+   disabled-mode cost to one flag check per level. *)
+module Obs = Broker_obs
+
+let m_runs = Obs.Metrics.counter "bfs.runs"
+let m_levels_td = Obs.Metrics.counter "bfs.levels.top_down"
+let m_levels_bu = Obs.Metrics.counter "bfs.levels.bottom_up"
+let m_switches = Obs.Metrics.counter "bfs.direction_switches"
+let m_arcs = Obs.Metrics.counter "bfs.frontier_arcs"
+let m_settled = Obs.Metrics.counter "bfs.settled"
+let h_frontier = Obs.Metrics.histogram "bfs.frontier_size"
+let t_run = Obs.Trace.scope "bfs.run"
+let t_level_td = Obs.Trace.scope "bfs.frontier.top_down"
+let t_level_bu = Obs.Trace.scope "bfs.frontier.bottom_up"
+
 let run ws g ?(max_depth = max_int) src =
   let n = Graph.n g in
   if src < 0 || src >= n then invalid_arg "Bfs: source out of range";
@@ -182,11 +199,25 @@ let run ws g ?(max_depth = max_int) src =
   let scout = ref (deg src) in
   let bottom_up = ref false in
   let d = ref 0 in
+  let tr0 = Obs.Trace.enter () in
+  let lv_td = ref 0
+  and lv_bu = ref 0
+  and switches = ref 0
+  and arcs_touched = ref 0
+  and prev_dir = ref false in
   while !cur_n > 0 && !d < max_depth do
     if !bottom_up then begin
       if !cur_n * beta < n then bottom_up := false
     end
     else if !scout * alpha > !edges_rest then bottom_up := true;
+    if Obs.Control.enabled () then begin
+      if !bottom_up then incr lv_bu else incr lv_td;
+      if !d > 0 && !bottom_up <> !prev_dir then incr switches;
+      prev_dir := !bottom_up;
+      arcs_touched := !arcs_touched + !scout;
+      Obs.Metrics.observe h_frontier !cur_n;
+      Obs.Trace.sample (if !bottom_up then t_level_bu else t_level_td) !cur_n
+    end;
     let dn = !d + 1 in
     let next_n = ref 0 and next_scout = ref 0 in
     let nq = !q_next in
@@ -248,7 +279,16 @@ let run ws g ?(max_depth = max_int) src =
     d := dn
   done;
   ws.q_cur <- !q_cur;
-  ws.q_next <- !q_next
+  ws.q_next <- !q_next;
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_levels_td !lv_td;
+    Obs.Metrics.add m_levels_bu !lv_bu;
+    Obs.Metrics.add m_switches !switches;
+    Obs.Metrics.add m_arcs !arcs_touched;
+    Obs.Metrics.add m_settled ws.settled
+  end;
+  Obs.Trace.leave t_run tr0
 
 let max_level ws = ws.max_level
 let reached ws = ws.settled

@@ -1,8 +1,15 @@
 module B = Broker_util.Bitset
+module Obs = Broker_obs
 
 type t = { graph : Graph.t; brokers : B.t; broker_count : int }
 
+let m_builds = Obs.Metrics.counter "projected.builds"
+let m_arcs_kept = Obs.Metrics.counter "projected.arcs_kept"
+let m_broker_verts = Obs.Metrics.counter "projected.broker_vertices"
+let t_build = Obs.Trace.scope "projected.build"
+
 let project g ~is_broker =
+  let tr0 = Obs.Trace.enter () in
   let n = Graph.n g in
   let off = Graph.csr_off g and adj = Graph.csr_adj g in
   let brokers = B.create n in
@@ -48,6 +55,12 @@ let project g ~is_broker =
       done
     end
   done;
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.incr m_builds;
+    Obs.Metrics.add m_arcs_kept poff.(n);
+    Obs.Metrics.add m_broker_verts !broker_count
+  end;
+  Obs.Trace.leave t_build tr0;
   { graph = Graph.of_csr_unchecked ~n ~off:poff ~adj:padj; brokers; broker_count = !broker_count }
 
 let graph t = t.graph

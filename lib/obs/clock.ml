@@ -1,0 +1,9 @@
+external monotonic_ns : unit -> int = "broker_obs_monotonic_ns" [@@noalloc]
+
+let now_ns = monotonic_ns
+
+let time f =
+  let t0 = monotonic_ns () in
+  let x = f () in
+  let t1 = monotonic_ns () in
+  (x, float_of_int (t1 - t0) *. 1e-9)

@@ -1,0 +1,4 @@
+let flag = ref false
+let available = Obs_gate.available
+let enabled () = available && !flag
+let set_enabled b = flag := b && available

@@ -1,0 +1,131 @@
+type counter = { c_volatile : bool; cell : int Atomic.t }
+type gauge = { g_volatile : bool; gcell : int Atomic.t }
+
+let bucket_count = 63
+
+type histogram = { h_volatile : bool; buckets : int Atomic.t array }
+
+type reg =
+  | Rcounter of counter
+  | Rgauge of gauge
+  | Rhist of histogram
+
+let registry : (string, reg) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let register name make select =
+  Mutex.lock lock;
+  let r =
+    match Hashtbl.find_opt registry name with
+    | Some r -> r
+    | None ->
+        let r = make () in
+        Hashtbl.add registry name r;
+        r
+  in
+  Mutex.unlock lock;
+  match select r with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Broker_obs.Metrics: %S already registered with a different kind \
+            or volatility"
+           name)
+
+let counter ?(volatile = false) name =
+  register name
+    (fun () -> Rcounter { c_volatile = volatile; cell = Atomic.make 0 })
+    (function
+      | Rcounter c when c.c_volatile = volatile -> Some c
+      | _ -> None)
+
+let gauge ?(volatile = false) name =
+  register name
+    (fun () -> Rgauge { g_volatile = volatile; gcell = Atomic.make 0 })
+    (function
+      | Rgauge g when g.g_volatile = volatile -> Some g
+      | _ -> None)
+
+let histogram ?(volatile = false) name =
+  register name
+    (fun () ->
+      Rhist
+        {
+          h_volatile = volatile;
+          buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
+        })
+    (function
+      | Rhist h when h.h_volatile = volatile -> Some h
+      | _ -> None)
+
+(* --- probe operations: one flag check, then an atomic RMW ------------- *)
+
+let add c n = if Control.enabled () then ignore (Atomic.fetch_and_add c.cell n)
+let incr c = add c 1
+
+let rec gauge_max g v =
+  if Control.enabled () then begin
+    let cur = Atomic.get g.gcell in
+    if v > cur && not (Atomic.compare_and_set g.gcell cur v) then gauge_max g v
+  end
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    (* floor(log2 v) + 1, i.e. the position of the highest set bit:
+       bucket i (i >= 1) covers [2^(i-1), 2^i). *)
+    let i = ref 0 and x = ref v in
+    while !x > 0 do
+      Stdlib.incr i;
+      x := !x lsr 1
+    done;
+    min !i (bucket_count - 1)
+  end
+
+let observe h v =
+  if Control.enabled () then
+    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1)
+
+(* --- snapshots -------------------------------------------------------- *)
+
+type value =
+  | Counter of int
+  | Gauge_max of int
+  | Histogram of int array
+
+type entry = { name : string; volatile : bool; value : value }
+type snapshot = entry list
+
+let snapshot () =
+  Mutex.lock lock;
+  let entries =
+    Hashtbl.fold
+      (fun name r acc ->
+        let volatile, value =
+          match r with
+          | Rcounter c -> (c.c_volatile, Counter (Atomic.get c.cell))
+          | Rgauge g -> (g.g_volatile, Gauge_max (Atomic.get g.gcell))
+          | Rhist h -> (h.h_volatile, Histogram (Array.map Atomic.get h.buckets))
+        in
+        { name; volatile; value } :: acc)
+      registry []
+  in
+  Mutex.unlock lock;
+  List.sort (fun a b -> String.compare a.name b.name) entries
+
+let deterministic snap = List.filter (fun e -> not e.volatile) snap
+
+let find snap name =
+  List.find_opt (fun e -> String.equal e.name name) snap
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ r ->
+      match r with
+      | Rcounter c -> Atomic.set c.cell 0
+      | Rgauge g -> Atomic.set g.gcell 0
+      | Rhist h -> Array.iter (fun b -> Atomic.set b 0) h.buckets)
+    registry;
+  Mutex.unlock lock

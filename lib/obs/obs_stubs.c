@@ -1,0 +1,17 @@
+/* Monotonic clock for the observability layer.
+ *
+ * CLOCK_MONOTONIC nanoseconds returned as a tagged OCaml int: 62 bits
+ * of nanoseconds-since-boot overflow after ~146 years of uptime, so the
+ * subtraction (t1 - t0) done on the OCaml side is always exact. Declared
+ * [@@noalloc] on the OCaml side: Val_long never allocates.
+ */
+#include <time.h>
+#include <caml/mlvalues.h>
+
+CAMLprim value broker_obs_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((long)ts.tv_sec * 1000000000L + (long)ts.tv_nsec);
+}

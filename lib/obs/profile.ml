@@ -1,0 +1,38 @@
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
+let zero =
+  {
+    minor_words = 0.;
+    major_words = 0.;
+    promoted_words = 0.;
+    minor_collections = 0;
+    major_collections = 0;
+  }
+
+let add a b =
+  {
+    minor_words = a.minor_words +. b.minor_words;
+    major_words = a.major_words +. b.major_words;
+    promoted_words = a.promoted_words +. b.promoted_words;
+    minor_collections = a.minor_collections + b.minor_collections;
+    major_collections = a.major_collections + b.major_collections;
+  }
+
+let measure f =
+  let a = Gc.quick_stat () in
+  let x = f () in
+  let b = Gc.quick_stat () in
+  ( x,
+    {
+      minor_words = b.Gc.minor_words -. a.Gc.minor_words;
+      major_words = b.Gc.major_words -. a.Gc.major_words;
+      promoted_words = b.Gc.promoted_words -. a.Gc.promoted_words;
+      minor_collections = b.Gc.minor_collections - a.Gc.minor_collections;
+      major_collections = b.Gc.major_collections - a.Gc.major_collections;
+    } )

@@ -352,6 +352,11 @@ let parse_json s =
     parse_error "at %d: trailing garbage after document" c.pos;
   v
 
+let json_of_string s =
+  match parse_json s with
+  | j -> Ok j
+  | exception Parse_error msg -> Error msg
+
 (* ------------------------------------------------------------------ *)
 (* Decoding into the IR                                                *)
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,63 @@
+module Metrics = Broker_obs.Metrics
+
+let kind_label (e : Metrics.entry) =
+  let base =
+    match e.value with
+    | Metrics.Counter _ -> "counter"
+    | Metrics.Gauge_max _ -> "gauge.max"
+    | Metrics.Histogram _ -> "histogram"
+  in
+  if e.volatile then base ^ " (volatile)" else base
+
+let scalar_cell (e : Metrics.entry) v =
+  (* Deterministic values diff as exact integers; volatile ones reuse the
+     Seconds volatility channel (0 decimals keeps the text rendering an
+     integer) so Report_diff skips them. *)
+  if e.volatile then Report.seconds ~decimals:0 (float_of_int v)
+  else Report.int v
+
+let histogram_total buckets = Array.fold_left ( + ) 0 buckets
+
+let report ?(name = "obs_metrics") snap =
+  let rep = Report.create ~name () in
+  let s = Report.section rep "Observability - metrics snapshot" in
+  let t =
+    Report.table s ~key:"metrics"
+      ~columns:[ Report.col "Metric"; Report.col "Kind"; Report.col "Value" ]
+      ()
+  in
+  List.iter
+    (fun (e : Metrics.entry) ->
+      let value_cell =
+        match e.value with
+        | Metrics.Counter v | Metrics.Gauge_max v -> scalar_cell e v
+        | Metrics.Histogram buckets -> scalar_cell e (histogram_total buckets)
+      in
+      Report.row t [ Report.str e.name; Report.str (kind_label e); value_cell ])
+    snap;
+  (* Non-volatile histograms additionally export their full (log-bucketed)
+     shape as a diffable series: x = bucket index, y = observations. *)
+  List.iter
+    (fun (e : Metrics.entry) ->
+      match e.value with
+      | Metrics.Histogram buckets when not e.volatile ->
+          let points = ref [] in
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                points := (float_of_int i, float_of_int c) :: !points)
+            buckets;
+          Report.series s
+            ~key:("hist." ^ e.name)
+            ~x:"bucket" ~y:"count"
+            (Array.of_list (List.rev !points))
+      | _ -> ())
+    snap;
+  Report.note s
+    "Counters/gauges above are deterministic for a fixed seed and scale \
+     unless marked volatile; volatile entries (wall-clock, GC words, \
+     scheduling) are excluded from `report diff`.\n";
+  rep
+
+let to_text snap = Report_text.render (report snap)
+let to_json snap = Report_json.to_string (report snap)

@@ -4,10 +4,11 @@ type 'a t = {
   mutable data : 'a array;
   mutable size : int;
   mutable next_seq : int;
+  mutable max_size : int;  (* high-water mark since creation/clear *)
 }
 
 let create () =
-  { times = [||]; seqs = [||]; data = [||]; size = 0; next_seq = 0 }
+  { times = [||]; seqs = [||]; data = [||]; size = 0; next_seq = 0; max_size = 0 }
 
 let before t i j =
   t.times.(i) < t.times.(j)
@@ -60,6 +61,7 @@ let add t ~time x =
   t.next_seq <- t.next_seq + 1;
   t.data.(t.size) <- x;
   t.size <- t.size + 1;
+  if t.size > t.max_size then t.max_size <- t.size;
   sift_up t (t.size - 1)
 
 let pop t =
@@ -82,6 +84,8 @@ let pop t =
 
 let peek_time t = if t.size = 0 then None else Some t.times.(0)
 let size t = t.size
+let length t = t.size
+let max_length t = t.max_size
 let is_empty t = t.size = 0
 
 let clear t =
@@ -89,4 +93,5 @@ let clear t =
   t.seqs <- [||];
   t.data <- [||];
   t.size <- 0;
-  t.next_seq <- 0
+  t.next_seq <- 0;
+  t.max_size <- 0

@@ -10,10 +10,19 @@ val pop : 'a t -> (float * 'a) option
 
 val peek_time : 'a t -> float option
 val size : 'a t -> int
+
+val length : 'a t -> int
+(** Alias for {!size} (O(1)). *)
+
+val max_length : 'a t -> int
+(** High-water mark: the largest {!length} ever reached since creation
+    or the last {!clear} (O(1); popping never lowers it). Feeds the
+    simulator's [sim.queue.max_depth] gauge. *)
+
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
 (** Empty the queue and release the backing storage (so large drained
     queues do not pin their peak capacity — or any popped payload — in
     memory). The queue remains usable; the insertion-sequence counter
-    restarts. *)
+    and the {!max_length} high-water mark restart. *)

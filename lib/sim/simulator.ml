@@ -1,5 +1,21 @@
 module G = Broker_graph.Graph
 module X = Broker_util.Xrandom
+module Obs = Broker_obs
+
+(* Event-loop probes: every counter below is driven by the simulated
+   structure (event kinds, cache membership, breaker excursions), so all
+   are deterministic for a fixed seed and diffable run-to-run. *)
+let m_ev_depart = Obs.Metrics.counter "sim.events.depart"
+let m_ev_fault = Obs.Metrics.counter "sim.events.fault"
+let m_ev_retry = Obs.Metrics.counter "sim.events.retry"
+let m_failovers = Obs.Metrics.counter "sim.failovers"
+let m_drops = Obs.Metrics.counter "sim.dropped_midflight"
+let m_retries_scheduled = Obs.Metrics.counter "sim.retries_scheduled"
+let m_breaker_trips = Obs.Metrics.counter "sim.breaker_trips"
+let m_cache_invalidated = Obs.Metrics.counter "sim.cache.invalidated_keys"
+let m_cache_degraded = Obs.Metrics.counter "sim.cache.degraded_flushed"
+let g_queue_depth = Obs.Metrics.gauge "sim.queue.max_depth"
+let t_sim = Obs.Trace.scope "simulator.run"
 
 type config = {
   capacity_of : int -> float;
@@ -96,6 +112,7 @@ let validate ~n ~brokers config =
     brokers
 
 let run ?chaos topo ~brokers ~sessions config =
+  let tr0 = Obs.Trace.enter () in
   let g = topo.Broker_topo.Topology.graph in
   let n = G.n g in
   validate ~n ~brokers config;
@@ -157,6 +174,7 @@ let run ?chaos topo ~brokers ~sessions config =
           (not (Float.is_nan above_since.(b)))
           && t -. above_since.(b) >= bp.trip_after
         then begin
+          Obs.Metrics.incr m_breaker_trips;
           tripped_until.(b) <- t +. bp.cooldown;
           (* A fresh sustained excursion is needed to re-trip after cooldown. *)
           above_since.(b) <- nan;
@@ -205,11 +223,15 @@ let run ?chaos topo ~brokers ~sessions config =
   let invalidate_broker b =
     match Hashtbl.find_opt cache_by_broker b with
     | Some keys ->
+        if Obs.Control.enabled () then
+          Obs.Metrics.add m_cache_invalidated (List.length !keys);
         List.iter (Hashtbl.remove path_cache) !keys;
         Hashtbl.remove cache_by_broker b
     | None -> ()
   in
   let flush_degraded () =
+    if Obs.Control.enabled () then
+      Obs.Metrics.add m_cache_degraded (List.length !degraded_keys);
     List.iter (Hashtbl.remove path_cache) !degraded_keys;
     degraded_keys := []
   in
@@ -271,6 +293,7 @@ let run ?chaos topo ~brokers ~sessions config =
          | Capacity | Shed -> true)
     in
     if retryable then begin
+      Obs.Metrics.incr m_retries_scheduled;
       let jitter = 1.0 +. (retry.jitter *. X.float jitter_rng 1.0) in
       let delay =
         retry.base_delay *. (retry.multiplier ** float_of_int attempt) *. jitter
@@ -331,6 +354,7 @@ let run ?chaos topo ~brokers ~sessions config =
         end
   in
   let drop l t =
+    Obs.Metrics.incr m_drops;
     l.active <- false;
     Hashtbl.remove in_flight_tbl l.id;
     decr in_flight;
@@ -374,7 +398,11 @@ let run ?chaos topo ~brokers ~sessions config =
                 end
                 else false
           in
-          if rerouted then incr failed_over else drop l t)
+          if rerouted then begin
+            incr failed_over;
+            Obs.Metrics.incr m_failovers
+          end
+          else drop l t)
         affected
     end
   in
@@ -391,15 +419,22 @@ let run ?chaos topo ~brokers ~sessions config =
   let handle ev t =
     match ev with
     | Depart l ->
+        Obs.Metrics.incr m_ev_depart;
         if l.active then begin
           Array.iter (fun pb -> adjust pb t (-.l.demand)) l.path_brokers;
           l.active <- false;
           if has_chaos then Hashtbl.remove in_flight_tbl l.id;
           decr in_flight
         end
-    | Fault (Faults.Crash, b) -> on_crash b t
-    | Fault (Faults.Recover, b) -> on_recover b t
-    | Retry (s, attempt) -> admit_session s t ~attempt
+    | Fault (Faults.Crash, b) ->
+        Obs.Metrics.incr m_ev_fault;
+        on_crash b t
+    | Fault (Faults.Recover, b) ->
+        Obs.Metrics.incr m_ev_fault;
+        on_recover b t
+    | Retry (s, attempt) ->
+        Obs.Metrics.incr m_ev_retry;
+        admit_session s t ~attempt
   in
   let process_until t =
     let continue = ref true in
@@ -433,6 +468,7 @@ let run ?chaos topo ~brokers ~sessions config =
         handle ev t
     | None -> continue := false
   done;
+  Obs.Metrics.gauge_max g_queue_depth (Event_queue.max_length events);
   Event_queue.clear events;
   let horizon = !horizon in
   Array.iter
@@ -487,6 +523,9 @@ let run ?chaos topo ~brokers ~sessions config =
     revenue_lost = !revenue_lost;
     availability;
   }
+  |> fun stats ->
+  Obs.Trace.leave t_sim tr0;
+  stats
 
 let delivered_rate s =
   if s.offered = 0 then 0.0

@@ -114,6 +114,21 @@ let r7_scope () =
      --experiments (and outside lib/experiments/). *)
   check_clean ~file:"r7_bad.ml" (run_lint [ fixture "r7_bad.ml" ])
 
+let r8 =
+  test_rule ~rule:"clock-discipline" ~bad:"r8_bad.ml" ~bad_lines:[ 4; 5 ]
+    ~good:"r8_good.ml"
+
+let r8_scope () =
+  (* R8 binds everywhere the linter looks, not just library code — the
+     fixture fails even without --lib (where the overlapping R2 arm for
+     Unix.gettimeofday stays silent). *)
+  let r = run_lint [ fixture "r8_bad.ml" ] in
+  Alcotest.(check int) "ad-hoc clocks flagged outside lib" 1 r.code;
+  check_contains r.output "[clock-discipline]";
+  Alcotest.(check bool)
+    "R2 arm is library-only" false
+    (contains r.output "[determinism]")
+
 let whole_directory () =
   (* Directory mode aggregates every bad fixture and none of the clean
      ones; diagnostics come out sorted by file for stable diffs. *)
@@ -121,14 +136,16 @@ let whole_directory () =
   Alcotest.(check int) "fixtures dir exits 1" 1 r.code;
   List.iter
     (fun f -> check_contains r.output (f ^ ":"))
-    [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml"; "r6_bad.ml" ];
+    [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml";
+      "r6_bad.ml"; "r8_bad.ml" ];
   List.iter
     (fun f ->
       Alcotest.(check bool)
         (f ^ " not flagged") false
         (contains r.output (f ^ ":")))
     [ "r1_good.ml"; "r2_good.ml"; "r3_good.ml"; "r4_good.ml"; "r5_good.ml";
-      "r6_good.ml"; "r7_good.ml"; "r7_bad.ml"; "r1_suppressed.ml" ]
+      "r6_good.ml"; "r7_good.ml"; "r7_bad.ml"; "r8_good.ml";
+      "r1_suppressed.ml" ]
 
 let repo_lib_clean () =
   (* The repo as shipped lints clean; lib/ is the strictest subtree and
@@ -158,6 +175,8 @@ let () =
           Alcotest.test_case "R6 no-list-nth" `Quick r6;
           Alcotest.test_case "R7 report-pure" `Quick r7;
           Alcotest.test_case "R7 scope" `Quick r7_scope;
+          Alcotest.test_case "R8 clock-discipline" `Quick r8;
+          Alcotest.test_case "R8 scope" `Quick r8_scope;
         ] );
       ( "driver",
         [

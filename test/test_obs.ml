@@ -1,0 +1,208 @@
+(* Tests for the Broker_obs instrumentation layer: the disabled-mode
+   no-op guarantee, histogram bucketing, the span ring (nesting and
+   wraparound), the Chrome trace sink, and counter determinism across
+   runs and REPRO_DOMAINS settings. *)
+
+open Helpers
+module Obs = Broker_obs
+module Control = Obs.Control
+module Metrics = Obs.Metrics
+module Trace = Obs.Trace
+module Conn = Broker_core.Connectivity
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Every test leaves the global instrumentation state exactly as the
+   rest of the suite expects it: disabled, disarmed, zeroed. *)
+let with_obs_state f =
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disarm ();
+      Control.set_enabled false;
+      Metrics.reset ())
+    f
+
+(* ---------- disabled-mode no-op ---------- *)
+
+let c_disabled = Metrics.counter "test.obs.disabled_counter"
+
+let test_disabled_noop () =
+  with_obs_state @@ fun () ->
+  Control.set_enabled false;
+  Metrics.reset ();
+  Metrics.incr c_disabled;
+  Metrics.add c_disabled 41;
+  (match Metrics.find (Metrics.snapshot ()) "test.obs.disabled_counter" with
+  | Some { Metrics.value = Metrics.Counter v; _ } ->
+      check_int "disabled counter never moves" 0 v
+  | _ -> Alcotest.fail "counter not registered");
+  let path = Filename.temp_file "obs_disabled" ".json" in
+  Sys.remove path;
+  check_bool "write without arm reports nothing" false (Trace.write ~path);
+  check_bool "no trace file appears" false (Sys.file_exists path)
+
+(* ---------- histogram buckets ---------- *)
+
+let h_edges = Metrics.histogram "test.obs.hist_edges"
+
+let test_histogram_buckets () =
+  with_obs_state @@ fun () ->
+  (* Bucket 0 holds v <= 0; bucket i >= 1 holds [2^(i-1), 2^i). *)
+  check_int "bucket_of 0" 0 (Metrics.bucket_of 0);
+  check_int "bucket_of -3" 0 (Metrics.bucket_of (-3));
+  check_int "bucket_of 1" 1 (Metrics.bucket_of 1);
+  check_int "bucket_of 2" 2 (Metrics.bucket_of 2);
+  check_int "bucket_of 3" 2 (Metrics.bucket_of 3);
+  check_int "bucket_of 4" 3 (Metrics.bucket_of 4);
+  check_int "bucket_of 7" 3 (Metrics.bucket_of 7);
+  check_int "bucket_of 8" 4 (Metrics.bucket_of 8);
+  check_int "bucket_of max_int saturates" (Metrics.bucket_count - 1)
+    (Metrics.bucket_of max_int);
+  Control.set_enabled true;
+  Metrics.reset ();
+  List.iter (Metrics.observe h_edges) [ 0; 1; 2; 3; 4 ];
+  match Metrics.find (Metrics.snapshot ()) "test.obs.hist_edges" with
+  | Some { Metrics.value = Metrics.Histogram b; _ } ->
+      check_int "bucket 0 count" 1 b.(0);
+      check_int "bucket 1 count" 1 b.(1);
+      check_int "bucket 2 count" 2 b.(2);
+      check_int "bucket 3 count" 1 b.(3);
+      check_int "total observations" 5 (Array.fold_left ( + ) 0 b)
+  | _ -> Alcotest.fail "histogram not registered"
+
+(* ---------- span ring: nesting and wraparound ---------- *)
+
+let t_outer = Trace.scope "test.obs.outer"
+let t_inner = Trace.scope "test.obs.inner"
+
+let test_span_ring () =
+  with_obs_state @@ fun () ->
+  Control.set_enabled true;
+  Trace.arm ~capacity:64 ();
+  let t0 = Trace.enter () in
+  Trace.with_span t_inner (fun () -> ());
+  Trace.leave t_outer t0;
+  check_int "nested spans recorded" 2 (Trace.recorded ());
+  check_int "nothing dropped yet" 0 (Trace.dropped ());
+  for _ = 1 to 200 do
+    Trace.with_span t_inner (fun () -> ())
+  done;
+  check_int "ring holds exactly its capacity" 64 (Trace.recorded ());
+  check_int "overflow counted as dropped" (202 - 64) (Trace.dropped ())
+
+(* ---------- Chrome trace JSON ---------- *)
+
+let field name = function
+  | Broker_report.Report_json.Obj kvs -> List.assoc_opt name kvs
+  | _ -> None
+
+let test_chrome_trace_json () =
+  with_obs_state @@ fun () ->
+  Control.set_enabled true;
+  Trace.arm ();
+  (* Fan out over 4 explicit domains so the trace carries several tids
+     (one per worker domain) for the thread-metadata assertions. *)
+  let total =
+    Broker_util.Parallel.chunked ~domains:4 ~n:64
+      ~worker:(fun ~lo ~hi ->
+        let s = ref 0 in
+        for i = lo to hi - 1 do
+          s := !s + i
+        done;
+        !s)
+      ~merge:( + ) 0
+  in
+  check_int "parallel result correct" (64 * 63 / 2) total;
+  Trace.with_span t_outer (fun () -> ());
+  Trace.sample t_inner 17;
+  match Broker_report.Report_json.json_of_string (Trace.to_chrome_json ()) with
+  | Error msg -> Alcotest.fail ("trace is not valid JSON: " ^ msg)
+  | Ok doc -> (
+      match field "traceEvents" doc with
+      | Some (Broker_report.Report_json.List events) ->
+          check_bool "has events" true (List.length events > 0);
+          let tids = Hashtbl.create 8 in
+          List.iter
+            (fun ev ->
+              (match field "ph" ev with
+              | Some (Broker_report.Report_json.Str ph) ->
+                  check_bool "known phase" true
+                    (List.mem ph [ "X"; "C"; "M" ]);
+                  (match (ph, field "tid" ev) with
+                  | "X", Some (Broker_report.Report_json.Num tid) ->
+                      Hashtbl.replace tids (int_of_float tid) ()
+                  | _ -> ())
+              | _ -> Alcotest.fail "event without ph");
+              match (field "pid" ev, field "name" ev) with
+              | Some _, Some _ -> ()
+              | _ -> Alcotest.fail "event missing pid or name")
+            events;
+          check_bool "spans from at least two domains" true
+            (Hashtbl.length tids >= 2)
+      | _ -> Alcotest.fail "no traceEvents array")
+
+(* ---------- counter determinism ---------- *)
+
+let with_domains v f =
+  let saved = Sys.getenv_opt "REPRO_DOMAINS" in
+  Unix.putenv "REPRO_DOMAINS" v;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "REPRO_DOMAINS" (Option.value ~default:"" saved))
+    f
+
+(* A deterministic snapshot rendered to strings: Alcotest diffs lists of
+   strings legibly, and rendering avoids polymorphic equality on the
+   histogram payload arrays. *)
+let render_deterministic () =
+  List.map
+    (fun (e : Metrics.entry) ->
+      let v =
+        match e.Metrics.value with
+        | Metrics.Counter v -> string_of_int v
+        | Metrics.Gauge_max v -> "max:" ^ string_of_int v
+        | Metrics.Histogram b ->
+            String.concat "," (Array.to_list (Array.map string_of_int b))
+      in
+      e.Metrics.name ^ "=" ^ v)
+    (Metrics.deterministic (Metrics.snapshot ()))
+
+let test_counter_determinism () =
+  with_obs_state @@ fun () ->
+  Control.set_enabled true;
+  let t = small_internet ~seed:9 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let n = G.n g in
+  let brokers = Broker_core.Baselines.db g ~k:(min 50 n) in
+  let is_broker = Conn.of_brokers ~n brokers in
+  let sources = Array.init (min 32 n) (fun i -> i) in
+  let run_snap domains =
+    Metrics.reset ();
+    ignore (with_domains domains (fun () ->
+        Conn.eval_sources ~l_max:10 g ~is_broker sources));
+    render_deterministic ()
+  in
+  let s1 = run_snap "1" in
+  let s1' = run_snap "1" in
+  Alcotest.(check (list string)) "identical across two runs" s1 s1';
+  let s4 = run_snap "4" in
+  Alcotest.(check (list string)) "identical across REPRO_DOMAINS" s1 s4;
+  check_bool "snapshot is non-trivial" true
+    (List.exists (fun line -> contains ~needle:"bfs.runs=" line) s1)
+
+let suite =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "disabled probes are no-ops" `Quick
+          test_disabled_noop;
+        Alcotest.test_case "histogram bucket edges" `Quick
+          test_histogram_buckets;
+        Alcotest.test_case "span nesting & ring wraparound" `Quick
+          test_span_ring;
+        Alcotest.test_case "Chrome trace JSON" `Quick test_chrome_trace_json;
+        Alcotest.test_case "counter determinism" `Quick
+          test_counter_determinism;
+      ] );
+  ]

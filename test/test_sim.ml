@@ -208,6 +208,29 @@ let test_eq_clear () =
   check_bool "first tie" true (snd (Option.get (Eq.pop q)) = 10);
   check_bool "second tie" true (snd (Option.get (Eq.pop q)) = 11)
 
+let test_eq_high_water () =
+  let q = Eq.create () in
+  check_int "empty length" 0 (Eq.length q);
+  check_int "empty high-water" 0 (Eq.max_length q);
+  for i = 0 to 4 do
+    Eq.add q ~time:(float_of_int i) i
+  done;
+  check_int "length tracks adds" 5 (Eq.length q);
+  check_int "high-water follows growth" 5 (Eq.max_length q);
+  ignore (Eq.pop q);
+  ignore (Eq.pop q);
+  check_int "length drops on pop" 3 (Eq.length q);
+  check_int "high-water never drops" 5 (Eq.max_length q);
+  Eq.add q ~time:9.0 9;
+  check_int "regrowth below peak keeps peak" 5 (Eq.max_length q);
+  for i = 10 to 16 do
+    Eq.add q ~time:(float_of_int i) i
+  done;
+  check_int "new peak raises high-water" 11 (Eq.max_length q);
+  Eq.clear q;
+  check_int "clear resets length" 0 (Eq.length q);
+  check_int "clear resets high-water" 0 (Eq.max_length q)
+
 let eq_qcheck_fifo_ties =
   (* Times drawn from a 3-value set so ties are common: the popped sequence
      must equal a stable sort by time (FIFO within equal times). *)
@@ -630,6 +653,7 @@ let suite =
         Alcotest.test_case "stable ties" `Quick test_eq_stable_ties;
         Alcotest.test_case "interleaved" `Quick test_eq_interleaved;
         Alcotest.test_case "clear" `Quick test_eq_clear;
+        Alcotest.test_case "length & high-water" `Quick test_eq_high_water;
         eq_qcheck_sorted;
         eq_qcheck_fifo_ties;
       ] );

@@ -36,6 +36,11 @@
      [Ctx.table], ...); they build a [Broker_report.Report.t] and let the
      harness pick a backend. Applies automatically under
      [lib/experiments/]; [--experiments] forces it (fixture/test mode).
+   - R8 [clock-discipline]: [Unix.gettimeofday] and [Sys.time] are banned
+     everywhere except [lib/obs/] (the sanctioned monotonic clock) and
+     [bench/] (hand-rolled harness timing). Ad-hoc clocks fragment the
+     timing story: time through [Broker_obs.Clock] so probes stay behind
+     the single observability switch.
 
    Any finding is suppressible by putting [(* brokerlint: allow <rule> *)]
    on the offending line. *)
@@ -51,6 +56,7 @@ module Rule = struct
     | No_stdout_in_lib
     | No_list_nth
     | Report_pure
+    | Clock_discipline
 
   let name = function
     | No_poly_compare -> "no-poly-compare"
@@ -60,6 +66,7 @@ module Rule = struct
     | No_stdout_in_lib -> "no-stdout-in-lib"
     | No_list_nth -> "no-list-nth"
     | Report_pure -> "report-pure"
+    | Clock_discipline -> "clock-discipline"
 
   (* Total order for stable reports: file, then line, then rule id. *)
   let id = function
@@ -70,6 +77,7 @@ module Rule = struct
     | No_stdout_in_lib -> 5
     | No_list_nth -> 6
     | Report_pure -> 7
+    | Clock_discipline -> 8
 end
 
 type violation = {
@@ -182,6 +190,7 @@ type file_ctx = {
   in_experiments : bool;  (** experiment-module rules (R7) apply *)
   rng_exempt : bool;  (** this file IS the sanctioned RNG module *)
   spawn_exempt : bool;  (** this file IS the sanctioned parallel runner *)
+  clock_exempt : bool;  (** lib/obs/ or bench/: ad-hoc clocks allowed *)
 }
 
 let check_ident ctx ~loop_depth p loc =
@@ -198,10 +207,19 @@ let check_ident ctx ~loop_depth p loc =
   | "Random" :: _ when ctx.in_lib && not ctx.rng_exempt ->
       report Rule.Determinism
         "Stdlib.Random in library code; draw from Broker_util.Xrandom streams"
-  | [ "Unix"; "gettimeofday" ] when ctx.in_lib ->
-      report Rule.Determinism
-        "wall-clock in library code breaks reproducibility; thread an \
-         explicit seed or clock"
+  | [ "Unix"; "gettimeofday" ] ->
+      if ctx.in_lib then
+        report Rule.Determinism
+          "wall-clock in library code breaks reproducibility; thread an \
+           explicit seed or clock";
+      if not ctx.clock_exempt then
+        report Rule.Clock_discipline
+          "Unix.gettimeofday outside lib/obs/ and bench/; time through \
+           Broker_obs.Clock so probes stay behind the observability switch"
+  | [ "Sys"; "time" ] when not ctx.clock_exempt ->
+      report Rule.Clock_discipline
+        "Sys.time outside lib/obs/ and bench/; use Broker_obs.Clock.time \
+         (monotonic, observability-gated sinks)"
   | [ "Domain"; "spawn" ] when not ctx.spawn_exempt ->
       report Rule.Domain_confinement
         "Domain.spawn outside lib/util/parallel.ml; use Parallel.chunked / \
@@ -281,6 +299,15 @@ let is_lib_path f =
 
 let is_experiments_path f = contains_substring (normalize f) "lib/experiments/"
 
+(* R8 exemptions: the observability clock implementation itself, and the
+   bench harness (hand-timed full-scale runs, Bechamel already owns the
+   clock there). *)
+let is_clock_exempt_path f =
+  let f = normalize f in
+  contains_substring f "lib/obs/"
+  || (String.length f >= 6 && String.sub f 0 6 = "bench/")
+  || contains_substring f "/bench/"
+
 let has_suffix s suf =
   let ns = String.length s and nf = String.length suf in
   ns >= nf && String.sub s (ns - nf) nf = suf
@@ -311,6 +338,7 @@ let scan_file ~force_lib ~force_experiments file =
       in_experiments = force_experiments || is_experiments_path file;
       rng_exempt = has_suffix file "lib/util/xrandom.ml";
       spawn_exempt = has_suffix file "lib/util/parallel.ml";
+      clock_exempt = is_clock_exempt_path file;
     }
   in
   if in_lib && not (Sys.file_exists (file ^ "i")) then

@@ -1,0 +1,5 @@
+(* Fixture (brokerlint: allow mli-complete): R8 clean — timing through the sanctioned observability
+   clock instead of ad-hoc Unix/Sys wall clocks. *)
+
+let time_it f = Broker_obs.Clock.time f
+let elapsed_ns t0 = Broker_obs.Clock.now_ns () - t0
