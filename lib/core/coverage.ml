@@ -50,7 +50,11 @@ let push_order t v =
   end;
   t.order.(t.n_brokers) <- v
 
-let add t v =
+(* The neighbor sweep is an explicit loop over the CSR arrays — same
+   ascending order as [G.iter_neighbors], without the closure that call
+   would build; [add] sits on the greedy inner loop and is checked
+   [@brokercheck.noalloc]. *)
+let[@brokercheck.noalloc] add t v =
   if not (Bitset.mem t.broker v) then begin
     Broker_obs.Metrics.incr m_adds;
     Bitset.add t.broker v;
@@ -60,11 +64,14 @@ let add t v =
       Bitset.add t.covered_set v;
       t.n_covered <- t.n_covered + 1
     end;
-    G.iter_neighbors t.graph v (fun w ->
-        if not (Bitset.mem t.covered_set w) then begin
-          Bitset.add t.covered_set w;
-          t.n_covered <- t.n_covered + 1
-        end)
+    let off = G.csr_off t.graph and adj = G.csr_adj t.graph in
+    for i = off.(v) to off.(v + 1) - 1 do
+      let w = Array.unsafe_get adj i in
+      if not (Bitset.mem t.covered_set w) then begin
+        Bitset.add t.covered_set w;
+        t.n_covered <- t.n_covered + 1
+      end
+    done
   end
 
 let coverage_fraction t =

@@ -176,7 +176,10 @@ let t_run = Obs.Trace.scope "bfs.run"
 let t_level_td = Obs.Trace.scope "bfs.frontier.top_down"
 let t_level_bu = Obs.Trace.scope "bfs.frontier.bottom_up"
 
-let run ws g ?(max_depth = max_int) src =
+(* Degrees are read inline ([off.(v+1) - off.(v)]) rather than through a
+   local [deg] helper: the body is checked [@brokercheck.noalloc] and a
+   helper capturing [off] would cost a closure block per run. *)
+let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) src =
   let n = Graph.n g in
   if src < 0 || src >= n then invalid_arg "Bfs: source out of range";
   ensure ws n;
@@ -184,7 +187,6 @@ let run ws g ?(max_depth = max_int) src =
   let epoch = ws.epoch in
   let off = Graph.csr_off g and adj = Graph.csr_adj g in
   let stamp = ws.stamp and dist = ws.dist and levels = ws.levels in
-  let deg v = Array.unsafe_get off (v + 1) - Array.unsafe_get off v in
   stamp.(src) <- epoch;
   dist.(src) <- 0;
   levels.(0) <- 1;
@@ -193,10 +195,11 @@ let run ws g ?(max_depth = max_int) src =
   let q_cur = ref ws.q_cur and q_next = ref ws.q_next in
   !q_cur.(0) <- src;
   let cur_n = ref 1 in
+  let deg_src = Array.unsafe_get off (src + 1) - Array.unsafe_get off src in
   (* Directed arcs still incident to unsettled vertices, and the frontier's
      total out-degree — the two sides of the switching heuristic. *)
-  let edges_rest = ref (off.(n) - deg src) in
-  let scout = ref (deg src) in
+  let edges_rest = ref (off.(n) - deg_src) in
+  let scout = ref deg_src in
   let bottom_up = ref false in
   let d = ref 0 in
   let tr0 = Obs.Trace.enter () in
@@ -205,6 +208,11 @@ let run ws g ?(max_depth = max_int) src =
   and switches = ref 0
   and arcs_touched = ref 0
   and prev_dir = ref false in
+  (* Loop scratch, hoisted so each level (and, for [probe]/[found], each
+     bottom-up vertex probe) reuses the same refs instead of allocating
+     fresh ones per iteration — [run] is checked noalloc. *)
+  let next_n = ref 0 and next_scout = ref 0 in
+  let probe = ref 0 and found = ref false in
   while !cur_n > 0 && !d < max_depth do
     if !bottom_up then begin
       if !cur_n * beta < n then bottom_up := false
@@ -219,7 +227,8 @@ let run ws g ?(max_depth = max_int) src =
       Obs.Trace.sample (if !bottom_up then t_level_bu else t_level_td) !cur_n
     end;
     let dn = !d + 1 in
-    let next_n = ref 0 and next_scout = ref 0 in
+    next_n := 0;
+    next_scout := 0;
     let nq = !q_next in
     if !bottom_up then
       (* Bottom-up: every unsettled vertex probes its own adjacency for a
@@ -228,23 +237,25 @@ let run ws g ?(max_depth = max_int) src =
          arcs a top-down expansion would. *)
       for v = 0 to n - 1 do
         if Array.unsafe_get stamp v <> epoch then begin
-          let i = ref (Array.unsafe_get off v) in
+          probe := Array.unsafe_get off v;
           let hi = Array.unsafe_get off (v + 1) in
-          let found = ref false in
-          while (not !found) && !i < hi do
-            let w = Array.unsafe_get adj !i in
+          found := false;
+          while (not !found) && !probe < hi do
+            let w = Array.unsafe_get adj !probe in
             if
               Array.unsafe_get stamp w = epoch
               && Array.unsafe_get dist w = !d
             then found := true
-            else incr i
+            else incr probe
           done;
           if !found then begin
             Array.unsafe_set stamp v epoch;
             Array.unsafe_set dist v dn;
             Array.unsafe_set nq !next_n v;
             incr next_n;
-            next_scout := !next_scout + deg v
+            next_scout :=
+              !next_scout + Array.unsafe_get off (v + 1)
+              - Array.unsafe_get off v
           end
         end
       done
@@ -260,7 +271,9 @@ let run ws g ?(max_depth = max_int) src =
             Array.unsafe_set dist v dn;
             Array.unsafe_set nq !next_n v;
             incr next_n;
-            next_scout := !next_scout + deg v
+            next_scout :=
+              !next_scout + Array.unsafe_get off (v + 1)
+              - Array.unsafe_get off v
           end
         done
       done

@@ -8,7 +8,12 @@ let m_arcs_kept = Obs.Metrics.counter "projected.arcs_kept"
 let m_broker_verts = Obs.Metrics.counter "projected.broker_vertices"
 let t_build = Obs.Trace.scope "projected.build"
 
-let project g ~is_broker =
+(* The per-vertex counter and write cursor are single refs hoisted above
+   the CSR sweeps and reset per vertex: the body is checked
+   [@brokercheck.noalloc], so the O(n + m) fill path must not allocate
+   per iteration (the arrays and result record before/after the loops
+   are the tolerated O(1) setup). *)
+let[@brokercheck.noalloc] project g ~is_broker =
   let tr0 = Obs.Trace.enter () in
   let n = Graph.n g in
   let off = Graph.csr_off g and adj = Graph.csr_adj g in
@@ -23,12 +28,13 @@ let project g ~is_broker =
   (* Counting pass: a broker keeps its whole (already sorted) segment; a
      non-broker keeps exactly its broker neighbors. *)
   let poff = Array.make (n + 1) 0 in
+  let c = ref 0 in
   for u = 0 to n - 1 do
     let lo = off.(u) and hi = off.(u + 1) in
     let kept =
       if B.unsafe_mem brokers u then hi - lo
       else begin
-        let c = ref 0 in
+        c := 0;
         for i = lo to hi - 1 do
           if B.unsafe_mem brokers (Array.unsafe_get adj i) then incr c
         done;
@@ -41,11 +47,12 @@ let project g ~is_broker =
      symmetric edge predicate preserves all of those invariants, so the
      result can be wrapped without re-normalizing. *)
   let padj = Array.make poff.(n) 0 in
+  let w = ref 0 in
   for u = 0 to n - 1 do
     let lo = off.(u) and hi = off.(u + 1) in
     if B.unsafe_mem brokers u then Array.blit adj lo padj poff.(u) (hi - lo)
     else begin
-      let w = ref poff.(u) in
+      w := poff.(u);
       for i = lo to hi - 1 do
         let v = Array.unsafe_get adj i in
         if B.unsafe_mem brokers v then begin

@@ -78,7 +78,11 @@ let disarm () =
 let reset () =
   match !ring with None -> () | Some r -> Atomic.set r.cursor 0
 
-let record code t0 d =
+(* The emit path — [record] and its [leave]/[sample] wrappers — is
+   checked [@brokercheck.noalloc]: a span end costs one atomic
+   reservation and four int stores, so probes stay cheap enough to
+   leave armed around parallel kernels. *)
+let[@brokercheck.noalloc] record code t0 d =
   match !ring with
   | None -> ()
   | Some r ->
@@ -90,7 +94,7 @@ let record code t0 d =
 
 let enter () = if !armed_flag then Clock.monotonic_ns () else 0
 
-let leave sc t0 =
+let[@brokercheck.noalloc] leave sc t0 =
   if !armed_flag then record (2 * sc) t0 (Clock.monotonic_ns () - t0)
 
 let leave_named name t0 = if !armed_flag then leave (scope name) t0
@@ -102,7 +106,7 @@ let with_span sc f =
   end
   else f ()
 
-let sample sc v =
+let[@brokercheck.noalloc] sample sc v =
   if !armed_flag then record ((2 * sc) + 1) (Clock.monotonic_ns ()) v
 
 let recorded () =

@@ -25,7 +25,7 @@ let unsafe_mem t i =
   land (1 lsl (i mod bits_per_word))
   <> 0
 
-let unsafe_add t i =
+let[@brokercheck.noalloc] unsafe_add t i =
   let w = i / bits_per_word in
   Array.unsafe_set t.words w
     (Array.unsafe_get t.words w lor (1 lsl (i mod bits_per_word)))

@@ -88,8 +88,11 @@ let map_array ?domains f arr =
   else begin
     (* [f arr.(0)] seeds the output array and is evaluated exactly once,
        on the calling domain; the workers then fill slots 1..n-1 (the
-       chunked range is shifted up by one). *)
-    let out = Array.make n (f arr.(0)) in
+       chunked range is shifted up by one). [out] is shared across the
+       workers by construction, but each writes a disjoint [lo+1..hi]
+       slice — the strided-disjoint-writes pattern brokercheck's
+       domain-safety rule blesses via the owned annotation. *)
+    let[@brokercheck.owned] out = Array.make n (f arr.(0)) in
     let _ =
       chunked ?domains ~n:(n - 1)
         ~worker:(fun ~lo ~hi ->

@@ -1,0 +1,181 @@
+(* Drives the brokercheck executable (tools/check) over the compiled
+   fixture library in tools/check/fixtures/: the bad fixtures seed one
+   violation per rule-construct (a data race per shared-state class for
+   C1, an allocation per construct class for C2) and must fail with
+   [file:line:col: [rule]] diagnostics; the good and suppressed ones
+   must pass silently. A final case checks the real lib/ artifacts,
+   pinning the "annotated kernels check clean" acceptance criterion.
+
+   The checker reads .cmt files, so every target here is a build
+   artifact (under .brokercheck_fixtures.objs/byte/), not a source
+   file; [--source-root ..] lets it find the sources the diagnostics
+   (and suppression comments) refer to. *)
+
+let exe = "../tools/check/brokercheck.exe"
+
+let fixture name =
+  "../tools/check/fixtures/.brokercheck_fixtures.objs/byte/brokercheck_fixtures__"
+  ^ name ^ ".cmt"
+
+type result = { code : int; output : string }
+
+let run_check args =
+  let cmd =
+    Filename.quote_command exe ("--source-root" :: ".." :: args) ^ " 2>&1"
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  match Unix.close_process_in ic with
+  | Unix.WEXITED code -> { code; output = Buffer.contents buf }
+  | Unix.WSIGNALED _ | Unix.WSTOPPED _ ->
+      Alcotest.fail "brokercheck killed by signal"
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec probe i =
+    i + nn <= nh && (String.sub haystack i nn = needle || probe (i + 1))
+  in
+  nn = 0 || probe 0
+
+let check_contains output needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "output mentions %S" needle)
+    true (contains output needle)
+
+let check_bad ~rule ~file ~lines r =
+  Alcotest.(check int) (file ^ " exits 1") 1 r.code;
+  check_contains r.output ("[" ^ rule ^ "]");
+  List.iter
+    (fun line -> check_contains r.output (Printf.sprintf "%s:%d:" file line))
+    lines
+
+let check_clean ~file r =
+  Alcotest.(check int) (file ^ " exits 0") 0 r.code;
+  Alcotest.(check string) (file ^ " is silent") "" r.output
+
+let c1 () =
+  (* One diagnostic per shared-state class: global ref (both in the
+     worker closure and in the reachable [bump]), global array, global
+     mutable field, and a captured ref shared across workers. *)
+  check_bad ~rule:"domain-safety" ~file:"c1_bad.ml"
+    ~lines:[ 20; 28; 29; 30; 31 ]
+    (run_check [ fixture "C1_bad" ]);
+  check_clean ~file:"c1_good.ml" (run_check [ fixture "C1_good" ])
+
+let c1_owned () =
+  (* The clean fixture's strided fill writes a shared array from workers
+     and passes only because of [@brokercheck.owned]; pin that the good
+     file exercises the escape hatch rather than avoiding the pattern. *)
+  let src = "../tools/check/fixtures/c1_good.ml" in
+  let contents = In_channel.with_open_bin src In_channel.input_all in
+  Alcotest.(check bool)
+    "c1_good.ml uses [@brokercheck.owned]" true
+    (contains contents "[@brokercheck.owned]")
+
+let c1_suppression () =
+  check_clean ~file:"c1_suppressed.ml" (run_check [ fixture "C1_suppressed" ])
+
+let c2 () =
+  (* One diagnostic per allocating construct: tuple-in-loop, ::-in-loop,
+     boxed float in loop, closure construction, partial application. *)
+  check_bad ~rule:"noalloc" ~file:"c2_bad.ml" ~lines:[ 7; 15; 22; 27; 30 ]
+    (run_check [ fixture "C2_bad" ]);
+  check_clean ~file:"c2_good.ml" (run_check [ fixture "C2_good" ])
+
+let c2_construct_classes () =
+  let r = run_check [ fixture "C2_bad" ] in
+  List.iter (check_contains r.output)
+    [
+      "tuple allocation";
+      "constructor ::";
+      "boxed float";
+      "closure construction";
+      "partial application";
+    ]
+
+let whole_directory () =
+  (* Directory mode scans every .cmt under the path (including the
+     dot-directories dune hides artifacts in) and aggregates only the
+     bad fixtures; diagnostics come out sorted for stable diffs. *)
+  let r = run_check [ "../tools/check/fixtures" ] in
+  Alcotest.(check int) "fixtures dir exits 1" 1 r.code;
+  List.iter (fun f -> check_contains r.output (f ^ ":")) [ "c1_bad.ml"; "c2_bad.ml" ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (f ^ " not flagged") false
+        (contains r.output (f ^ ":")))
+    [ "c1_good.ml"; "c1_suppressed.ml"; "c2_good.ml" ]
+
+let repo_lib_clean () =
+  (* The repo as shipped checks clean: the annotated kernels carry no
+     unsuppressed C1/C2 findings. This is the typed-analysis half of
+     test_lint's "repo lib/ lints clean". *)
+  let r = run_check [ "../lib" ] in
+  Alcotest.(check string) "lib/ check output" "" r.output;
+  Alcotest.(check int) "lib/ checks clean" 0 r.code
+
+let repo_lib_annotated () =
+  (* The acceptance bar is >= 4 kernels carrying [@brokercheck.noalloc];
+     count the annotations in the library sources the suite already
+     depends on. *)
+  let rec walk acc dir =
+    Array.fold_left
+      (fun acc entry ->
+        let path = Filename.concat dir entry in
+        if Sys.is_directory path then
+          if String.length entry > 0 && entry.[0] = '.' then acc
+          else walk acc path
+        else if Filename.check_suffix path ".ml" then (
+          let contents = In_channel.with_open_bin path In_channel.input_all in
+          let rec count i acc =
+            match String.index_from_opt contents i '[' with
+            | None -> acc
+            | Some j ->
+                let probe = "[@brokercheck.noalloc]" in
+                let n = String.length probe in
+                if
+                  j + n <= String.length contents
+                  && String.sub contents j n = probe
+                then count (j + n) (acc + 1)
+                else count (j + 1) acc
+          in
+          count 0 acc)
+        else acc)
+      acc (Sys.readdir dir)
+  in
+  let n = walk 0 "../lib" in
+  Alcotest.(check bool)
+    (Printf.sprintf "lib/ carries >= 4 noalloc kernels (found %d)" n)
+    true (n >= 4)
+
+let missing_path () =
+  let r = run_check [ "../tools/check/fixtures/enoent.cmt" ] in
+  Alcotest.(check int) "missing path exits 2" 2 r.code
+
+let () =
+  Alcotest.run "brokercheck"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "C1 domain-safety" `Quick c1;
+          Alcotest.test_case "C1 owned escape hatch" `Quick c1_owned;
+          Alcotest.test_case "C2 noalloc" `Quick c2;
+          Alcotest.test_case "C2 construct classes" `Quick
+            c2_construct_classes;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "suppression comment" `Quick c1_suppression;
+          Alcotest.test_case "directory mode" `Quick whole_directory;
+          Alcotest.test_case "repo lib/ checks clean" `Quick repo_lib_clean;
+          Alcotest.test_case "repo lib/ annotation floor" `Quick
+            repo_lib_annotated;
+          Alcotest.test_case "missing path" `Quick missing_path;
+        ] );
+    ]

@@ -118,6 +118,25 @@ let r8 =
   test_rule ~rule:"clock-discipline" ~bad:"r8_bad.ml" ~bad_lines:[ 4; 5 ]
     ~good:"r8_good.ml"
 
+let r9 =
+  test_rule ~rule:"no-unsafe-obj" ~bad:"r9_bad.ml" ~bad_lines:[ 3; 4; 5; 6; 7 ]
+    ~good:"r9_good.ml"
+
+let r9_scope () =
+  (* The Obj half binds everywhere; the polymorphic-hash half is
+     library-only (tests/bench may hash ad hoc). *)
+  let r = run_lint [ fixture "r9_bad.ml" ] in
+  Alcotest.(check int) "Obj casts flagged outside lib" 1 r.code;
+  check_contains r.output "r9_bad.ml:3:";
+  check_contains r.output "r9_bad.ml:4:";
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "hash arm silent outside lib (line %d)" line)
+        false
+        (contains r.output (Printf.sprintf "r9_bad.ml:%d:" line)))
+    [ 5; 6; 7 ]
+
 let r8_scope () =
   (* R8 binds everywhere the linter looks, not just library code — the
      fixture fails even without --lib (where the overlapping R2 arm for
@@ -137,14 +156,14 @@ let whole_directory () =
   List.iter
     (fun f -> check_contains r.output (f ^ ":"))
     [ "r1_bad.ml"; "r2_bad.ml"; "r3_bad.ml"; "r4_bad.ml"; "r5_bad.ml";
-      "r6_bad.ml"; "r8_bad.ml" ];
+      "r6_bad.ml"; "r8_bad.ml"; "r9_bad.ml" ];
   List.iter
     (fun f ->
       Alcotest.(check bool)
         (f ^ " not flagged") false
         (contains r.output (f ^ ":")))
     [ "r1_good.ml"; "r2_good.ml"; "r3_good.ml"; "r4_good.ml"; "r5_good.ml";
-      "r6_good.ml"; "r7_good.ml"; "r7_bad.ml"; "r8_good.ml";
+      "r6_good.ml"; "r7_good.ml"; "r7_bad.ml"; "r8_good.ml"; "r9_good.ml";
       "r1_suppressed.ml" ]
 
 let repo_lib_clean () =
@@ -177,6 +196,8 @@ let () =
           Alcotest.test_case "R7 scope" `Quick r7_scope;
           Alcotest.test_case "R8 clock-discipline" `Quick r8;
           Alcotest.test_case "R8 scope" `Quick r8_scope;
+          Alcotest.test_case "R9 no-unsafe-obj" `Quick r9;
+          Alcotest.test_case "R9 scope" `Quick r9_scope;
         ] );
       ( "driver",
         [

@@ -384,6 +384,82 @@ let test_table_cells () =
   Alcotest.(check string) "float" "3.14" (Table.cell_float 3.14159);
   Alcotest.(check string) "int" "42" (Table.cell_int 42)
 
+(* --- Parallel chunk/stride boundary coverage ------------------------- *)
+
+module Parallel = Broker_util.Parallel
+
+(* The fan-out helpers read the domain budget from REPRO_DOMAINS when no
+   explicit ?domains is passed; exercising them through the env var
+   covers the same path the experiments use. *)
+let with_domains v f =
+  let saved = Sys.getenv_opt "REPRO_DOMAINS" in
+  Unix.putenv "REPRO_DOMAINS" v;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "REPRO_DOMAINS" (Option.value ~default:"" saved))
+    f
+
+(* Each worker lists the indices it visited (worker-local accumulator);
+   the deterministic merge concatenates in stride/chunk order. Sorting
+   the union and comparing against [0 .. n-1] catches both missed and
+   doubly-visited indices. *)
+let strided_visits n =
+  Parallel.strided ~n
+    ~worker:(fun ~start ~step ->
+      let acc = ref [] in
+      let i = ref start in
+      while !i < n do
+        acc := !i :: !acc;
+        i := !i + step
+      done;
+      List.rev !acc)
+    ~merge:( @ ) []
+
+let chunked_visits n =
+  Parallel.chunked ~n
+    ~worker:(fun ~lo ~hi ->
+      let acc = ref [] in
+      for i = lo to hi - 1 do
+        acc := i :: !acc
+      done;
+      List.rev !acc)
+    ~merge:( @ ) []
+
+let exact_cover n visits =
+  List.sort Int.compare visits = List.init n (fun i -> i)
+
+let test_parallel_boundaries () =
+  (* Exhaustive sweep of the adversarial corner pairs: n = 0, n below the
+     sequential-fallback threshold (n < 4), n < domains, n = domains,
+     and n just past a multiple of the domain count. *)
+  List.iter
+    (fun domains ->
+      with_domains (string_of_int domains) (fun () ->
+          List.iter
+            (fun n ->
+              Alcotest.(check bool)
+                (Printf.sprintf "strided exact cover (n=%d domains=%d)" n
+                   domains)
+                true
+                (exact_cover n (strided_visits n));
+              Alcotest.(check bool)
+                (Printf.sprintf "chunked exact cover (n=%d domains=%d)" n
+                   domains)
+                true
+                (exact_cover n (chunked_visits n)))
+            [ 0; 1; 2; 3; 4; 5; 7; 8; 9; 12; 13 ]))
+    [ 1; 3; 4 ]
+
+let parallel_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60
+       ~name:"Parallel.strided/chunked visit every index exactly once"
+       QCheck.(pair (int_range 0 97) (oneofl [ 1; 3; 4 ]))
+       (fun (n, domains) ->
+         with_domains (string_of_int domains) (fun () ->
+             exact_cover n (strided_visits n)
+             && exact_cover n (chunked_visits n))))
+
 let suite =
   [
     ( "util.xrandom",
@@ -458,5 +534,11 @@ let suite =
         Alcotest.test_case "render" `Quick test_table_render;
         Alcotest.test_case "arity" `Quick test_table_arity;
         Alcotest.test_case "cell formats" `Quick test_table_cells;
+      ] );
+    ( "util.parallel",
+      [
+        Alcotest.test_case "chunk/stride boundaries" `Quick
+          test_parallel_boundaries;
+        parallel_qcheck;
       ] );
   ]

@@ -1,0 +1,813 @@
+(* brokercheck — typed static analysis for the broker-set repo.
+
+   Where brokerlint (tools/lint) walks the *Parsetree* and can only see
+   spelling, brokercheck walks the *Typedtree*: it loads the [.cmt]
+   files the ordinary dune build already produces ([Cmt_format]) and
+   traverses them with [Tast_iterator], so every identifier is resolved
+   to its defining path and every expression carries its inferred type.
+   That is exactly the information the two rule families below need —
+   an [int Atomic.t] and a plain [int ref] are indistinguishable to a
+   syntactic pass, and "does this application allocate a closure"
+   (partial application) is a typing fact, not a spelling fact.
+
+   C1 [domain-safety]
+     Compute the set of code reachable from the closures handed to the
+     parallel fan-out points ([Parallel.strided], [Parallel.chunked],
+     [Parallel.map_array], [Domain.spawn]) and, inside that set, flag
+     writes to shared non-[Atomic] mutable state:
+       - module-level [ref]s (and [incr]/[decr] on them),
+       - mutable record fields of module-level values,
+       - [Array.set]/[unsafe_set]/[fill]/[blit] (and [Bytes], [Hashtbl],
+         [Queue], [Stack], [Buffer] mutators) whose target is
+         module-level,
+       - inside the worker closure itself, the same writes to values
+         *captured* from the enclosing scope (shared across every
+         worker spawned at that site).
+     Values created inside the worker body are worker-local and free to
+     mutate; writes through function parameters are the call site's
+     responsibility (the spawning closure is where locality is checked).
+     The strided-disjoint-writes idiom — every worker writes a distinct
+     index of one shared array, as [Parallel.map_array] does — is
+     blessed by annotating the binding [@brokercheck.owned].
+
+   C2 [noalloc]
+     For functions annotated [let[@brokercheck.noalloc] f ... = ...],
+     reject allocating constructs in the typed body:
+       - anywhere: closure construction and partial application (both
+         allocate a closure block, and usually signal an accidental
+         capture on a hot path);
+       - inside [for]/[while] loops: tuples, records (including
+         [ref]), non-constant constructors ([::] included), variant
+         arguments, array literals, [lazy], boxed-float-returning
+         applications, and a table of allocating stdlib calls
+         ([Array.make], [@], [^], [List.map], ...).
+     O(1) setup allocation before the loops (a handful of refs, a
+     result record) is deliberately tolerated: the discipline protects
+     the per-iteration path, which is what the zero-alloc workspaces in
+     lib/graph/bfs.ml exist for.
+
+   Findings are reported as [file:line:col: [rule] message]; a finding
+   is suppressible with a comment containing
+   [brokercheck: allow <rule>] on the offending line. Exit codes: 0
+   clean, 1 findings, 2 usage/read error. *)
+
+module Sset = Set.Make (String)
+
+module Rule = struct
+  type t = Domain_safety | Noalloc
+
+  let name = function
+    | Domain_safety -> "domain-safety"
+    | Noalloc -> "noalloc"
+
+  let id = function Domain_safety -> 1 | Noalloc -> 2
+end
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  rule : Rule.t;
+  msg : string;
+}
+
+let violations : violation list ref = ref []
+
+let report_loc (loc : Location.t) rule msg =
+  let p = loc.loc_start in
+  if p.pos_lnum >= 1 then
+    violations :=
+      {
+        file = p.pos_fname;
+        line = p.pos_lnum;
+        col = p.pos_cnum - p.pos_bol;
+        rule;
+        msg;
+      }
+      :: !violations
+
+(* ------------------------------------------------------------------ *)
+(* Suppression comments                                                *)
+(* ------------------------------------------------------------------ *)
+
+let source_root = ref "."
+let source_lines : (string, string array) Hashtbl.t = Hashtbl.create 64
+
+let load_lines file =
+  match Hashtbl.find_opt source_lines file with
+  | Some lines -> lines
+  | None ->
+      let path = Filename.concat !source_root file in
+      let lines =
+        match In_channel.with_open_bin path In_channel.input_all with
+        | contents -> Array.of_list (String.split_on_char '\n' contents)
+        | exception Sys_error _ -> [||]
+      in
+      Hashtbl.replace source_lines file lines;
+      lines
+
+(* Allocation-free substring probe (same discipline as brokerlint's). *)
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec eq i j = j >= nn || (haystack.[i + j] = needle.[j] && eq i (j + 1)) in
+  let rec probe i = i + nn <= nh && (eq i 0 || probe (i + 1)) in
+  nn = 0 || probe 0
+
+let suppressed (v : violation) =
+  let lines = load_lines v.file in
+  v.line >= 1
+  && v.line <= Array.length lines
+  && contains_substring lines.(v.line - 1)
+       ("brokercheck: allow " ^ Rule.name v.rule)
+
+(* ------------------------------------------------------------------ *)
+(* Path normalization                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Dune wraps libraries: the unit implementing [Bfs] is compiled as
+   [Broker_graph__Bfs] and cross-library references resolve through the
+   wrapper ([Broker_graph.Bfs.run]). Normalize both spellings to the
+   same dotted name by rewriting every component to its segment after
+   the last ["__"] (dropping pure-prefix components like
+   [Broker_graph__]), then matching definitions against reference
+   *suffixes* of length >= 2. The over-approximation when two libraries
+   share a module name (graph/metrics.ml vs obs/metrics.ml) only ever
+   widens the reachable set. *)
+let norm_component s =
+  let n = String.length s in
+  let rec last_sep i found =
+    if i >= n - 1 then found
+    else if s.[i] = '_' && s.[i + 1] = '_' then last_sep (i + 2) (i + 2)
+    else last_sep (i + 1) found
+  in
+  match last_sep 0 (-1) with
+  | -1 -> s
+  | i when i >= n -> ""
+  | i -> String.sub s i (n - i)
+
+let rec path_components = function
+  | Path.Pident id -> [ Ident.name id ]
+  | Path.Pdot (p, s) -> path_components p @ [ s ]
+  | _ -> []
+
+let norm_path p =
+  List.filter_map
+    (fun c ->
+      let c' = norm_component c in
+      if c' = "" then None else Some c')
+    (path_components p)
+
+let dotted = String.concat "."
+
+(* All dotted suffixes of length >= 2, e.g. [A.B.f] -> ["A.B.f"; "B.f"]. *)
+let suffixes2 comps =
+  let rec go acc = function
+    | [] | [ _ ] -> acc
+    | _ :: tl as l -> go (dotted l :: acc) tl
+  in
+  go [] comps
+
+(* ------------------------------------------------------------------ *)
+(* Per-unit model                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type unit_info = {
+  u_mod : string;  (** normalized unit module name, e.g. ["Bfs"] *)
+  u_globals : Sset.t ref;
+      (** unique keys of structure-level value idents (any module depth) *)
+  u_structure : Typedtree.structure;
+}
+
+type def = {
+  d_name : string;  (** full dotted name, e.g. ["Bfs.run"] *)
+  d_unit : unit_info;
+  d_body : Typedtree.expression;
+}
+
+(* Idents are stamped per unit; qualify with the unit name so keys are
+   unique across the whole scan. *)
+let ident_key u id = u.u_mod ^ "#" ^ Ident.unique_name id
+
+let units : unit_info list ref = ref []
+let defs_by_suffix : (string, def list) Hashtbl.t = Hashtbl.create 512
+let noalloc_defs : (string * unit_info * Typedtree.value_binding) list ref =
+  ref []
+
+(* [@brokercheck.owned] bindings: local ones by ident key, module-level
+   ones additionally by every dotted suffix of their full name. *)
+let owned_idents : (string, unit) Hashtbl.t = Hashtbl.create 16
+let owned_names : (string, unit) Hashtbl.t = Hashtbl.create 16
+
+(* Locally let-bound functions, for resolving [~worker:f] roots. *)
+let local_fns : (string, Typedtree.expression) Hashtbl.t = Hashtbl.create 256
+
+type root =
+  | Closure of unit_info * Typedtree.expression
+      (** walked with capture tracking: writes to captured state flagged *)
+  | Named of def  (** reachable function: module-level writes flagged *)
+
+let roots : root list ref = ref []
+
+let has_attr name (attrs : Parsetree.attributes) =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = name) attrs
+
+let vb_has_attr name (vb : Typedtree.value_binding) =
+  has_attr name vb.vb_attributes || has_attr name vb.vb_expr.exp_attributes
+
+let is_function_expr (e : Typedtree.expression) =
+  match e.exp_desc with Texp_function _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Pass A: collect definitions, globals, owned bindings, local fns     *)
+(* ------------------------------------------------------------------ *)
+
+let collect_unit (u : unit_info) =
+  (* Structure-level values (module prefix tracked by hand so nested
+     modules contribute qualified names). Functor bodies are skipped:
+     their idents are not module-level state of this unit. *)
+  let rec walk_structure prefix (str : Typedtree.structure) =
+    List.iter (walk_item prefix) str.str_items
+  and walk_item prefix (item : Typedtree.structure_item) =
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            let ids = Typedtree.pat_bound_idents vb.vb_pat in
+            List.iter
+              (fun id -> u.u_globals := Sset.add (ident_key u id) !(u.u_globals))
+              ids;
+            match ids with
+            | [ id ] ->
+                let full = prefix @ [ Ident.name id ] in
+                let name = dotted full in
+                if vb_has_attr "brokercheck.owned" vb then
+                  List.iter
+                    (fun s -> Hashtbl.replace owned_names s ())
+                    (suffixes2 full);
+                if vb_has_attr "brokercheck.noalloc" vb then
+                  noalloc_defs := (name, u, vb) :: !noalloc_defs;
+                if is_function_expr vb.vb_expr then begin
+                  let d = { d_name = name; d_unit = u; d_body = vb.vb_expr } in
+                  List.iter
+                    (fun s ->
+                      let prev =
+                        Option.value ~default:[]
+                          (Hashtbl.find_opt defs_by_suffix s)
+                      in
+                      Hashtbl.replace defs_by_suffix s (d :: prev))
+                    (suffixes2 full)
+                end
+            | _ -> ())
+          vbs
+    | Tstr_module mb -> walk_module prefix mb
+    | Tstr_recmodule mbs -> List.iter (walk_module prefix) mbs
+    | Tstr_include inc -> walk_module_expr prefix inc.incl_mod
+    | _ -> ()
+  and walk_module prefix (mb : Typedtree.module_binding) =
+    let sub =
+      match mb.mb_id with
+      | Some id -> prefix @ [ Ident.name id ]
+      | None -> prefix
+    in
+    walk_module_expr sub mb.mb_expr
+  and walk_module_expr prefix (me : Typedtree.module_expr) =
+    match me.mod_desc with
+    | Tmod_structure str -> walk_structure prefix str
+    | Tmod_constraint (me, _, _, _) -> walk_module_expr prefix me
+    | _ -> ()
+  in
+  walk_structure [ u.u_mod ] u.u_structure;
+  (* Every value binding anywhere: local function bodies (for resolving
+     ident roots) and locally-owned bindings. *)
+  let super = Tast_iterator.default_iterator in
+  let value_binding it (vb : Typedtree.value_binding) =
+    (match Typedtree.pat_bound_idents vb.vb_pat with
+    | [ id ] ->
+        if is_function_expr vb.vb_expr then
+          Hashtbl.replace local_fns (ident_key u id) vb.vb_expr;
+        if vb_has_attr "brokercheck.owned" vb then
+          Hashtbl.replace owned_idents (ident_key u id) ()
+    | ids ->
+        if vb_has_attr "brokercheck.owned" vb then
+          List.iter
+            (fun id -> Hashtbl.replace owned_idents (ident_key u id) ())
+            ids);
+    super.value_binding it vb
+  in
+  let it = { super with value_binding } in
+  it.structure it u.u_structure
+
+(* ------------------------------------------------------------------ *)
+(* Pass B: spawn sites and reference collection                        *)
+(* ------------------------------------------------------------------ *)
+
+let spawn_targets =
+  [ "Parallel.strided"; "Parallel.chunked"; "Parallel.map_array"; "Domain.spawn" ]
+
+(* Candidate dotted names a resolved path can be referred to by: its
+   normalized spelling, and — for bare toplevel idents — the
+   unit-qualified form ([chunked] inside parallel.ml is
+   [Parallel.chunked]). *)
+let candidate_names u p =
+  let comps = norm_path p in
+  let qualified =
+    match p with
+    | Path.Pident id when Sset.mem (ident_key u id) !(u.u_globals) ->
+        [ [ u.u_mod; Ident.name id ] ]
+    | _ -> []
+  in
+  comps :: qualified
+
+let is_spawn_path u p =
+  List.exists
+    (fun comps ->
+      List.exists (fun s -> List.mem s spawn_targets) (suffixes2 comps))
+    (candidate_names u p)
+
+let rec type_is_arrow ty =
+  match Types.get_desc ty with
+  | Tarrow _ -> true
+  | Tpoly (t, _) -> type_is_arrow t
+  | _ -> false
+
+let resolve_defs comps =
+  (* Longest suffix wins; all defs registered under it are taken. *)
+  let rec go = function
+    | [] | [ _ ] -> []
+    | l -> (
+        match Hashtbl.find_opt defs_by_suffix (dotted l) with
+        | Some ds -> ds
+        | None -> go (List.tl l))
+  in
+  go comps
+
+let reference_targets u (e : Typedtree.expression) =
+  (* Every resolved ident mentioned in [e], as candidate component lists
+     for the reachability worklist. *)
+  let acc = ref [] in
+  let super = Tast_iterator.default_iterator in
+  let expr it (ex : Typedtree.expression) =
+    (match ex.exp_desc with
+    | Texp_ident (p, _, _) -> acc := candidate_names u p @ !acc
+    | _ -> ());
+    super.expr it ex
+  in
+  let it = { super with expr } in
+  it.expr it e;
+  !acc
+
+let collect_roots (u : unit_info) =
+  let super = Tast_iterator.default_iterator in
+  let add_root (arg : Typedtree.expression) =
+    match arg.exp_desc with
+    | Texp_function _ -> roots := Closure (u, arg) :: !roots
+    | Texp_ident (Path.Pident id, _, _)
+      when Hashtbl.mem local_fns (ident_key u id) ->
+        roots := Closure (u, Hashtbl.find local_fns (ident_key u id)) :: !roots
+    | Texp_ident (p, _, _) ->
+        List.iter
+          (fun d -> roots := Named d :: !roots)
+          (List.concat_map resolve_defs (candidate_names u p))
+    | _ -> ()
+  in
+  let expr it (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when is_spawn_path u p ->
+        List.iter
+          (fun ((lbl : Asttypes.arg_label), arg) ->
+            match (lbl, arg) with
+            | Asttypes.Labelled "worker", Some a -> add_root a
+            | Asttypes.Nolabel, Some (a : Typedtree.expression)
+              when is_function_expr a || type_is_arrow a.exp_type ->
+                add_root a
+            | _ -> ())
+          args
+    | _ -> ());
+    super.expr it e
+  in
+  let it = { super with expr } in
+  it.structure it u.u_structure
+
+(* ------------------------------------------------------------------ *)
+(* C1 domain-safety walk                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutators of shared state, by fully-resolved path: the typedtree has
+   already resolved [incr] to [Stdlib.incr], so a user-defined [incr]
+   (e.g. Metrics.incr, which is Atomic-backed) never collides. The int
+   is the index of the argument that names the mutated container. *)
+let mutators =
+  [
+    ("Stdlib.:=", 0, "ref assignment");
+    ("Stdlib.incr", 0, "Stdlib.incr");
+    ("Stdlib.decr", 0, "Stdlib.decr");
+    ("Stdlib.Array.set", 0, "Array.set");
+    ("Stdlib.Array.unsafe_set", 0, "Array.unsafe_set");
+    ("Stdlib.Array.fill", 0, "Array.fill");
+    ("Stdlib.Array.blit", 2, "Array.blit (destination)");
+    ("Stdlib.Bytes.set", 0, "Bytes.set");
+    ("Stdlib.Bytes.unsafe_set", 0, "Bytes.unsafe_set");
+    ("Stdlib.Bytes.fill", 0, "Bytes.fill");
+    ("Stdlib.Bytes.blit", 2, "Bytes.blit (destination)");
+    ("Stdlib.Hashtbl.add", 0, "Hashtbl.add");
+    ("Stdlib.Hashtbl.replace", 0, "Hashtbl.replace");
+    ("Stdlib.Hashtbl.remove", 0, "Hashtbl.remove");
+    ("Stdlib.Hashtbl.reset", 0, "Hashtbl.reset");
+    ("Stdlib.Hashtbl.clear", 0, "Hashtbl.clear");
+    ("Stdlib.Queue.add", 0, "Queue.add");
+    ("Stdlib.Queue.push", 0, "Queue.push");
+    ("Stdlib.Queue.pop", 0, "Queue.pop");
+    ("Stdlib.Queue.take", 0, "Queue.take");
+    ("Stdlib.Queue.clear", 0, "Queue.clear");
+    ("Stdlib.Stack.push", 1, "Stack.push");
+    ("Stdlib.Stack.pop", 0, "Stack.pop");
+    ("Stdlib.Stack.clear", 0, "Stack.clear");
+    ("Stdlib.Buffer.add_string", 0, "Buffer.add_string");
+    ("Stdlib.Buffer.add_char", 0, "Buffer.add_char");
+    ("Stdlib.Buffer.add_buffer", 0, "Buffer.add_buffer");
+    ("Stdlib.Buffer.clear", 0, "Buffer.clear");
+    ("Stdlib.Buffer.reset", 0, "Buffer.reset");
+  ]
+
+(* A unit-local redefinition of e.g. [:=] resolves to a different path,
+   so matching the fully-resolved [Stdlib.*] name never shadow-fires. *)
+let mutator_of p =
+  let name = dotted (norm_path p) in
+  List.find_opt (fun (m, _, _) -> m = name) mutators
+  |> Option.map (fun (_, i, what) -> (i, what))
+
+(* Syntactic owner of a write target: [x], [x.f], [x.f.(i)] all resolve
+   to [x]; anything without a stable head (function results, match
+   scrutinee temporaries) resolves to [None] and is given the benefit of
+   the doubt — the analysis is a reviewed gate, not a proof. *)
+let rec head_path (e : Typedtree.expression) =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> Some p
+  | Texp_field (e, _, _) -> head_path e
+  | Texp_open (_, e) -> head_path e
+  | _ -> None
+
+type locality = Local | Global of string | Captured of string
+
+let classify ~u ~locals p =
+  match p with
+  | Path.Pdot _ -> Global (dotted (norm_path p))
+  | Path.Pident id ->
+      let key = ident_key u id in
+      if Sset.mem key !locals then Local
+      else if Sset.mem (ident_key u id) !(u.u_globals) then
+        Global (dotted [ u.u_mod; Ident.name id ])
+      else Captured (Ident.name id)
+  | _ -> Local
+
+let owned ~u p =
+  match p with
+  | Path.Pident id -> Hashtbl.mem owned_idents (ident_key u id)
+  | Path.Pdot _ ->
+      List.exists
+        (fun s -> Hashtbl.mem owned_names s)
+        (suffixes2 (norm_path p))
+  | _ -> false
+
+let check_write ~u ~locals ~in_closure (target : Typedtree.expression)
+    (loc : Location.t) what =
+  match head_path target with
+  | None -> ()
+  | Some p ->
+      if not (owned ~u p) then begin
+        match classify ~u ~locals p with
+        | Local -> ()
+        | Global name ->
+            report_loc loc Rule.Domain_safety
+              (Printf.sprintf
+                 "%s on module-level mutable state '%s' reachable from a \
+                  parallel worker; use an Atomic.t cell, confine the write \
+                  to one domain, or mark the binding [@brokercheck.owned] \
+                  if writes are provably disjoint"
+                 what name)
+        | Captured name when in_closure ->
+            report_loc loc Rule.Domain_safety
+              (Printf.sprintf
+                 "%s on '%s', captured by a parallel worker closure and \
+                  shared across workers; allocate it inside the worker, \
+                  use Atomic, or mark the binding [@brokercheck.owned] if \
+                  writes are provably disjoint"
+                 what name)
+        | Captured _ -> ()
+      end
+
+(* Walk one root/reachable body. [in_closure] distinguishes a worker
+   closure (captures are shared across workers: flagged) from a named
+   reachable function (its frame is per-call, hence per-worker: only
+   module-level state is shared). *)
+let c1_walk ~u ~in_closure (e : Typedtree.expression) =
+  let locals = ref Sset.empty in
+  let add_ident id = locals := Sset.add (ident_key u id) !locals in
+  let super = Tast_iterator.default_iterator in
+  let pat (type k) it (p : k Typedtree.general_pattern) =
+    List.iter add_ident (Typedtree.pat_bound_idents p);
+    super.pat it p
+  in
+  let expr it (ex : Typedtree.expression) =
+    (match ex.exp_desc with
+    | Texp_function { param; _ } -> add_ident param
+    | Texp_for (id, _, _, _, _, _) -> add_ident id
+    | Texp_let (_, vbs, _) ->
+        List.iter
+          (fun (vb : Typedtree.value_binding) ->
+            List.iter add_ident (Typedtree.pat_bound_idents vb.vb_pat))
+          vbs
+    | Texp_setfield (target, lid, ld, _) ->
+        ignore lid;
+        check_write ~u ~locals ~in_closure target ex.exp_loc
+          (Printf.sprintf "write to mutable field '%s'" ld.lbl_name)
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+        match mutator_of p with
+        | None -> ()
+        | Some (idx, what) -> (
+            match List.nth_opt args idx with
+            | Some (_, Some target) ->
+                check_write ~u ~locals ~in_closure target ex.exp_loc what
+            | _ -> ()))
+    | _ -> ());
+    super.expr it ex
+  in
+  let it = { super with expr; pat } in
+  it.expr it e
+
+(* ------------------------------------------------------------------ *)
+(* C2 noalloc walk                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let allocating_calls =
+  [
+    "Stdlib.ref"; "Stdlib.@"; "Stdlib.^"; "Stdlib.^^";
+    "Stdlib.Array.make"; "Stdlib.Array.create_float"; "Stdlib.Array.init";
+    "Stdlib.Array.copy"; "Stdlib.Array.append"; "Stdlib.Array.sub";
+    "Stdlib.Array.concat"; "Stdlib.Array.of_list"; "Stdlib.Array.to_list";
+    "Stdlib.Array.make_matrix"; "Stdlib.Array.map"; "Stdlib.Array.mapi";
+    "Stdlib.List.init"; "Stdlib.List.map"; "Stdlib.List.mapi";
+    "Stdlib.List.rev"; "Stdlib.List.rev_append"; "Stdlib.List.append";
+    "Stdlib.List.concat"; "Stdlib.List.concat_map"; "Stdlib.List.flatten";
+    "Stdlib.List.filter"; "Stdlib.List.filter_map"; "Stdlib.List.cons";
+    "Stdlib.List.sort"; "Stdlib.List.stable_sort"; "Stdlib.List.sort_uniq";
+    "Stdlib.List.merge";
+    "Stdlib.Bytes.create"; "Stdlib.Bytes.make"; "Stdlib.Bytes.copy";
+    "Stdlib.Bytes.sub"; "Stdlib.Bytes.cat"; "Stdlib.Bytes.of_string";
+    "Stdlib.Bytes.to_string";
+    "Stdlib.String.make"; "Stdlib.String.init"; "Stdlib.String.sub";
+    "Stdlib.String.concat"; "Stdlib.String.cat"; "Stdlib.String.map";
+    "Stdlib.Printf.sprintf"; "Stdlib.Format.asprintf";
+    "Stdlib.Buffer.create"; "Stdlib.Buffer.contents";
+    "Stdlib.Seq.map"; "Stdlib.Seq.filter";
+  ]
+
+let is_float_type ty =
+  match Types.get_desc ty with
+  | Tconstr (p, [], _) -> Path.same p Predef.path_float
+  | _ -> false
+
+(* The curried parameter chain of an annotated binding: descend through
+   single-case [Texp_function] layers (each is a declared parameter, not
+   an allocation) and the lets the type checker inserts for optional-
+   argument defaults; anything else starts the real body. *)
+let param_chain (e : Typedtree.expression) =
+  let marked = ref [] in
+  let rec go (e : Typedtree.expression) =
+    match e.exp_desc with
+    | Texp_function { cases = [ { c_rhs; _ } ]; _ } ->
+        marked := e :: !marked;
+        go c_rhs
+    | Texp_function _ -> marked := e :: !marked
+    | Texp_let (_, _, body) -> go body
+    | _ -> ()
+  in
+  go e;
+  !marked
+
+let c2_walk ~fname (vb : Typedtree.value_binding) =
+  let params = param_chain vb.vb_expr in
+  let is_param e = List.memq e params in
+  let loop_depth = ref 0 in
+  let flag loc what =
+    report_loc loc Rule.Noalloc
+      (Printf.sprintf "[@brokercheck.noalloc] %s: %s" fname what)
+  in
+  let super = Tast_iterator.default_iterator in
+  let expr it (e : Typedtree.expression) =
+    (match e.exp_desc with
+    | Texp_function _ when not (is_param e) ->
+        flag e.exp_loc
+          "closure construction allocates (and captures); lift the \
+           function out of the kernel or inline it"
+    | Texp_apply _ when type_is_arrow e.exp_type ->
+        flag e.exp_loc
+          "partial application allocates a closure; apply all arguments \
+           or eta-expand at definition site"
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _)
+      when !loop_depth > 0
+           && List.mem (dotted (norm_path p)) allocating_calls ->
+        flag e.exp_loc
+          (Printf.sprintf "allocating call %s inside a loop"
+             (dotted (norm_path p)))
+    | Texp_apply _ when !loop_depth > 0 && is_float_type e.exp_type ->
+        flag e.exp_loc
+          "boxed float produced inside a loop; keep the hot path in \
+           integers or hoist the float math out of the loop"
+    | Texp_tuple _ when !loop_depth > 0 ->
+        flag e.exp_loc "tuple allocation inside a loop"
+    | Texp_record _ when !loop_depth > 0 ->
+        flag e.exp_loc "record allocation inside a loop"
+    | Texp_construct (_, cd, _ :: _) when !loop_depth > 0 ->
+        flag e.exp_loc
+          (Printf.sprintf "constructor %s with arguments allocates inside \
+                           a loop"
+             cd.cstr_name)
+    | Texp_variant (_, Some _) when !loop_depth > 0 ->
+        flag e.exp_loc "variant argument allocates inside a loop"
+    | Texp_array (_ :: _) when !loop_depth > 0 ->
+        flag e.exp_loc "array literal allocates inside a loop"
+    | Texp_lazy _ when !loop_depth > 0 ->
+        flag e.exp_loc "lazy block allocates inside a loop"
+    | _ -> ());
+    match e.exp_desc with
+    | Texp_for (_, _, lo, hi, _, body) ->
+        it.Tast_iterator.expr it lo;
+        it.Tast_iterator.expr it hi;
+        incr loop_depth;
+        it.Tast_iterator.expr it body;
+        decr loop_depth
+    | Texp_while (cond, body) ->
+        incr loop_depth;
+        it.Tast_iterator.expr it cond;
+        it.Tast_iterator.expr it body;
+        decr loop_depth
+    | _ -> super.expr it e
+  in
+  let it = { super with expr } in
+  it.expr it vb.vb_expr
+
+(* ------------------------------------------------------------------ *)
+(* cmt discovery and loading                                           *)
+(* ------------------------------------------------------------------ *)
+
+let has_suffix s suf =
+  let ns = String.length s and nf = String.length suf in
+  ns >= nf && String.sub s (ns - nf) nf = suf
+
+(* Unlike brokerlint's source scan, dot-directories are included: dune
+   keeps compiled artifacts under [.<lib>.objs/byte/]. *)
+let rec collect_cmt acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left (fun acc e -> collect_cmt acc (Filename.concat path e)) acc
+  else if has_suffix path ".cmt" then path :: acc
+  else acc
+
+let load_unit file =
+  let infos = Cmt_format.read_cmt file in
+  match infos.cmt_annots with
+  | Cmt_format.Implementation str ->
+      let m = norm_component infos.cmt_modname in
+      if m = "" then None
+      else
+        Some { u_mod = m; u_globals = ref Sset.empty; u_structure = str }
+  | _ -> None
+  | exception exn ->
+      Printf.eprintf "brokercheck: cannot read %s (%s)\n" file
+        (Printexc.to_string exn);
+      exit 2
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let usage =
+  "brokercheck [--source-root DIR] [path ...]\n\
+   Check the .cmt files under the given files/directories (default: lib).\n\
+  \  --source-root DIR  prefix for source paths when reading suppression\n\
+  \                     comments (default: .)\n\
+   Exit codes: 0 clean, 1 findings, 2 usage or read error."
+
+let () =
+  let paths = ref [] in
+  let rec parse i =
+    if i < Array.length Sys.argv then begin
+      (match Sys.argv.(i) with
+      | "--source-root" ->
+          if i + 1 >= Array.length Sys.argv then begin
+            prerr_endline "brokercheck: --source-root needs an argument";
+            exit 2
+          end;
+          source_root := Sys.argv.(i + 1);
+          parse (i + 2);
+          raise Exit
+      | "--help" | "-help" ->
+          print_endline usage;
+          exit 0
+      | arg when String.length arg > 0 && arg.[0] = '-' ->
+          prerr_endline ("brokercheck: unknown option " ^ arg);
+          prerr_endline usage;
+          exit 2
+      | arg -> paths := arg :: !paths);
+      parse (i + 1)
+    end
+  in
+  (try parse 1 with Exit -> ());
+  let paths = match List.rev !paths with [] -> [ "lib" ] | ps -> ps in
+  let files =
+    List.concat_map
+      (fun p ->
+        if not (Sys.file_exists p) then begin
+          prerr_endline ("brokercheck: no such file or directory: " ^ p);
+          exit 2
+        end;
+        List.rev (collect_cmt [] p))
+      paths
+  in
+  if files = [] then begin
+    prerr_endline
+      "brokercheck: no .cmt files found (build the libraries first: the \
+       @check alias depends on them)";
+    exit 2
+  end;
+  units := List.filter_map load_unit files;
+  List.iter collect_unit !units;
+  List.iter collect_roots !units;
+  (* Reachability: walk roots, then the transitive closure of referenced
+     definitions, flagging C1 writes as we go. *)
+  let seen_defs : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let seen_closures : (Typedtree.expression * unit_info) list ref = ref [] in
+  let queue = Queue.create () in
+  List.iter (fun r -> Queue.add r queue) !roots;
+  while not (Queue.is_empty queue) do
+    match Queue.pop queue with
+    | Closure (u, e) ->
+        if
+          not
+            (List.exists
+               (fun (e', u') -> e' == e && u' == u)
+               !seen_closures)
+        then begin
+          seen_closures := (e, u) :: !seen_closures;
+          c1_walk ~u ~in_closure:true e;
+          List.iter
+            (fun comps ->
+              List.iter (fun d -> Queue.add (Named d) queue) (resolve_defs comps))
+            (reference_targets u e)
+        end
+    | Named d ->
+        if not (Hashtbl.mem seen_defs d.d_name) then begin
+          Hashtbl.replace seen_defs d.d_name ();
+          c1_walk ~u:d.d_unit ~in_closure:false d.d_body;
+          List.iter
+            (fun comps ->
+              List.iter (fun d' -> Queue.add (Named d') queue) (resolve_defs comps))
+            (reference_targets d.d_unit d.d_body)
+        end
+  done;
+  (* C2 on every annotated binding. *)
+  List.iter (fun (name, _, vb) -> c2_walk ~fname:name vb) !noalloc_defs;
+  (* Sort, dedup per (file, line, rule), then drop suppressed findings —
+     one cached line lookup per surviving diagnostic. *)
+  let sorted =
+    List.sort_uniq
+      (fun (a : violation) (b : violation) ->
+        let c = String.compare a.file b.file in
+        if c <> 0 then c
+        else
+          let c = Int.compare a.line b.line in
+          if c <> 0 then c
+          else
+            let c = Int.compare (Rule.id a.rule) (Rule.id b.rule) in
+            if c <> 0 then c else Int.compare a.col b.col)
+      !violations
+  in
+  let deduped =
+    List.fold_left
+      (fun acc (v : violation) ->
+        match acc with
+        | prev :: _
+          when prev.file = v.file && prev.line = v.line && prev.rule = v.rule
+          ->
+            acc
+        | _ -> v :: acc)
+      [] sorted
+    |> List.rev
+  in
+  let live = List.filter (fun v -> not (suppressed v)) deduped in
+  List.iter
+    (fun v ->
+      Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col
+        (Rule.name v.rule) v.msg)
+    live;
+  match live with
+  | [] -> ()
+  | vs ->
+      Printf.eprintf "brokercheck: %d finding(s) in %d file(s)\n"
+        (List.length vs)
+        (List.length
+           (List.sort_uniq String.compare
+              (List.map (fun (v : violation) -> v.file) vs)));
+      exit 1

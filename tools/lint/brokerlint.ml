@@ -41,6 +41,13 @@
      [bench/] (hand-rolled harness timing). Ad-hoc clocks fragment the
      timing story: time through [Broker_obs.Clock] so probes stay behind
      the single observability switch.
+   - R9 [no-unsafe-obj]: [Obj.magic]/[Obj.repr]/[Obj.obj] are banned
+     everywhere (they defeat the type system the typed checker in
+     tools/check relies on); in library code the polymorphic hash
+     surface ([Hashtbl.hash]/[hash_param]/[seeded_hash]/[randomize] and
+     [Hashtbl.create ~random:true]) is banned too — randomized or
+     structural hashing breaks the determinism story the same way
+     polymorphic compare does.
 
    Any finding is suppressible by putting [(* brokerlint: allow <rule> *)]
    on the offending line. *)
@@ -57,6 +64,7 @@ module Rule = struct
     | No_list_nth
     | Report_pure
     | Clock_discipline
+    | No_unsafe_obj
 
   let name = function
     | No_poly_compare -> "no-poly-compare"
@@ -67,6 +75,7 @@ module Rule = struct
     | No_list_nth -> "no-list-nth"
     | Report_pure -> "report-pure"
     | Clock_discipline -> "clock-discipline"
+    | No_unsafe_obj -> "no-unsafe-obj"
 
   (* Total order for stable reports: file, then line, then rule id. *)
   let id = function
@@ -78,6 +87,7 @@ module Rule = struct
     | No_list_nth -> 6
     | Report_pure -> 7
     | Clock_discipline -> 8
+    | No_unsafe_obj -> 9
 end
 
 type violation = {
@@ -106,30 +116,33 @@ let load_lines file =
       Hashtbl.replace source_lines file lines;
       lines
 
+(* Character-by-character probe: no [String.sub] garbage per candidate
+   offset (this runs once per source line scanned for a suppression). *)
 let contains_substring haystack needle =
   let nh = String.length haystack and nn = String.length needle in
-  let rec probe i =
-    if i + nn > nh then false
-    else if String.sub haystack i nn = needle then true
-    else probe (i + 1)
-  in
+  let rec eq i j = j >= nn || (haystack.[i + j] = needle.[j] && eq i (j + 1)) in
+  let rec probe i = i + nn <= nh && (eq i 0 || probe (i + 1)) in
   nn = 0 || probe 0
 
-let suppressed ~file ~line rule =
-  let lines = load_lines file in
-  line >= 1
-  && line <= Array.length lines
-  && contains_substring lines.(line - 1) ("brokerlint: allow " ^ Rule.name rule)
+let suppressed (v : violation) =
+  let lines = load_lines v.file in
+  v.line >= 1
+  && v.line <= Array.length lines
+  && contains_substring lines.(v.line - 1)
+       ("brokerlint: allow " ^ Rule.name v.rule)
 
 (* ------------------------------------------------------------------ *)
 (* Violation accumulation                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Raw accumulation only: suppression comments are applied once per
+   deduplicated (file, line, rule) diagnostic in the driver, not per AST
+   hit — a line that fires a rule through many nodes costs one source
+   lookup instead of one per node. *)
 let violations : violation list ref = ref []
 
 let report ~file ~line ~col rule msg =
-  if not (suppressed ~file ~line rule) then
-    violations := { file; line; col; rule; msg } :: !violations
+  violations := { file; line; col; rule; msg } :: !violations
 
 let report_loc ~file (loc : Location.t) rule msg =
   let p = loc.loc_start in
@@ -236,6 +249,24 @@ let check_ident ctx ~loop_depth p loc =
            "%s in library code; print via Fmt on an explicit formatter (or \
             Logs)"
            (String.concat "." p))
+  | [ "Obj"; (("magic" | "repr" | "obj") as f) ] ->
+      report Rule.No_unsafe_obj
+        (Printf.sprintf
+           "Obj.%s defeats the type system (and the typed checks in \
+            tools/check); restructure with a variant or GADT"
+           f)
+  | [ "Hashtbl"; (("hash" | "hash_param" | "seeded_hash") as f) ]
+    when ctx.in_lib ->
+      report Rule.No_unsafe_obj
+        (Printf.sprintf
+           "Hashtbl.%s is the polymorphic structural hash; like polymorphic \
+            compare it silently changes meaning as types grow — key on an \
+            explicit int/string instead"
+           f)
+  | [ "Hashtbl"; "randomize" ] when ctx.in_lib ->
+      report Rule.No_unsafe_obj
+        "Hashtbl.randomize makes iteration order vary across runs; library \
+         containers must stay deterministic"
   | [ "List"; "nth" ] when loop_depth > 0 ->
       report Rule.No_list_nth
         "List.nth inside a loop body is quadratic; index an array instead"
@@ -263,6 +294,25 @@ let make_iterator ctx =
                      (String.concat "." (path f)))
             | _ -> ())
           args
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt = f; _ }; _ }, args)
+      when ctx.in_lib
+           && path f = [ "Hashtbl"; "create" ]
+           && List.exists
+                (fun ((lbl, arg) : Asttypes.arg_label * Parsetree.expression) ->
+                  match (lbl, arg.pexp_desc) with
+                  | ( (Asttypes.Labelled "random" | Asttypes.Optional "random"),
+                      Pexp_construct ({ txt = Longident.Lident "false"; _ }, None)
+                    ) ->
+                      false
+                  | (Asttypes.Labelled "random" | Asttypes.Optional "random"), _
+                    ->
+                      true
+                  | _ -> false)
+                args ->
+        report_loc ~file:ctx.file e.pexp_loc Rule.No_unsafe_obj
+          "Hashtbl.create ~random makes iteration order vary across runs; \
+           library containers must stay deterministic (the non-randomized \
+           default is fine)"
     | Pexp_ident { txt; _ } ->
         check_ident ctx ~loop_depth:!loop_depth (path txt) e.pexp_loc
     | _ -> ());
@@ -430,6 +480,7 @@ let () =
       [] sorted
     |> List.rev
   in
+  let deduped = List.filter (fun v -> not (suppressed v)) deduped in
   List.iter
     (fun (v : violation) ->
       Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col
