@@ -147,6 +147,83 @@ let chaos_tests () =
            ignore (Broker_sim.Simulator.run topo ~brokers ~sessions config)));
   ]
 
+(* Path-cache machinery per strategy. Dominated paths are precomputed so
+   the compute closures are table lookups: the medians time the cache,
+   not the BFS underneath it. *)
+let cache_tests () =
+  let open Bechamel in
+  let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:13 () in
+  let g = E.Ctx.graph ctx in
+  let n = Broker_graph.Graph.n g in
+  let order = E.Ctx.maxsg_order ctx in
+  let brokers = Array.sub order 0 (min 16 (Array.length order)) in
+  let model = Broker_sim.Workload.zipf ~n () in
+  let draw =
+    Broker_util.Sampling.weighted_alias model.Broker_core.Traffic.masses
+  in
+  let rng = Broker_util.Xrandom.create 19 in
+  let keys =
+    Array.init 2000 (fun _ ->
+        let src = draw rng in
+        let dst = ref (draw rng) in
+        while !dst = src do
+          dst := draw rng
+        done;
+        (src, !dst))
+  in
+  let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
+  let path_tbl = Hashtbl.create 2048 in
+  Array.iter
+    (fun (src, dst) ->
+      if not (Hashtbl.mem path_tbl (src, dst)) then
+        Hashtbl.replace path_tbl (src, dst)
+          (match
+             Broker_core.Dominating.find_dominated_path g ~is_broker src dst
+           with
+          | [] -> None
+          | p -> Some (Array.of_list p)))
+    keys;
+  let fresh strategy =
+    Broker_sim.Shard_cache.create ~strategy ~seed:7 ~n ~shards:brokers ()
+  in
+  let fill cache =
+    Array.iter
+      (fun (src, dst) ->
+        ignore
+          (Broker_sim.Shard_cache.find cache
+             ~compute:(fun () -> Hashtbl.find path_tbl (src, dst))
+             src dst))
+      keys
+  in
+  let m = min 2 (Array.length brokers) in
+  let churned = Array.sub brokers (Array.length brokers - m) m in
+  List.concat_map
+    (fun (label, strategy) ->
+      let warm = fresh strategy in
+      fill warm;
+      [
+        Test.make ~name:("insert/" ^ label)
+          (Staged.stage (fun () ->
+               let c = fresh strategy in
+               fill c));
+        Test.make ~name:("lookup/" ^ label)
+          (Staged.stage (fun () -> fill warm));
+        Test.make
+          ~name:("invalidate/" ^ label)
+          (Staged.stage (fun () ->
+               let c = fresh strategy in
+               fill c;
+               Array.iter (Broker_sim.Shard_cache.crash c) churned;
+               Array.iter (Broker_sim.Shard_cache.recover c) churned));
+      ])
+    [
+      ("flush", Broker_sim.Shard_cache.Flush);
+      ("modulo", Broker_sim.Shard_cache.Modulo);
+      ( "ring",
+        Broker_sim.Shard_cache.Ring
+          { vnodes = Broker_sim.Shard_cache.default_vnodes } );
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* Timing statistics and the JSON perf trajectory                      *)
 (* ------------------------------------------------------------------ *)
@@ -392,6 +469,7 @@ let run_timings ~json ~fullscale () =
       ("tables_and_figures", run_suite ~quota:2.0 "tables_and_figures" (experiment_tests ()));
       ("kernels", run_suite ~quota:2.0 "kernels" (kernel_tests ()));
       ("chaos", run_suite ~quota:2.0 "chaos" (chaos_tests ()));
+      ("cache", run_suite ~quota:2.0 "cache" (cache_tests ()));
     ]
     @ (if fullscale then [ ("connectivity_fullscale", fullscale_pair ()) ] else [])
   in

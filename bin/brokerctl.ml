@@ -177,7 +177,14 @@ let export_dot_cmd =
 
 (* simulate *)
 let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
-    mttr scenario no_failover retries =
+    mttr scenario no_failover retries cache_strategy vnodes =
+  let cache =
+    match Broker_sim.Shard_cache.strategy_of_string ~vnodes cache_strategy with
+    | Ok s -> s
+    | Error msg ->
+        prerr_endline ("brokerctl simulate: " ^ msg);
+        exit 2
+  in
   match load path with
   | Error msg ->
       prerr_endline msg;
@@ -221,7 +228,9 @@ let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
               chaos_seed = seed;
             }
       in
-      let s = Broker_sim.Simulator.run ?chaos topo ~brokers ~sessions config in
+      let s =
+        Broker_sim.Simulator.run ?chaos ~cache topo ~brokers ~sessions config
+      in
       Printf.printf "offered             %d\n" s.Broker_sim.Simulator.offered;
       Printf.printf "admitted            %d (%.2f%%)\n" s.Broker_sim.Simulator.admitted
         (100.0 *. s.Broker_sim.Simulator.admission_rate);
@@ -247,7 +256,20 @@ let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
           s.Broker_sim.Simulator.revenue_lost;
         Printf.printf "availability        %.2f%%\n"
           (100.0 *. s.Broker_sim.Simulator.availability)
-      end
+      end;
+      let c = s.Broker_sim.Simulator.cache in
+      Printf.printf "cache strategy      %s\n"
+        (Broker_sim.Shard_cache.strategy_name cache);
+      Printf.printf "cache lookups       %d\n" c.Broker_sim.Shard_cache.lookups;
+      Printf.printf "cache hits          %d\n" c.Broker_sim.Shard_cache.hits;
+      Printf.printf "cache degraded      %d\n"
+        c.Broker_sim.Shard_cache.served_degraded;
+      Printf.printf "cache repaired      %d\n"
+        c.Broker_sim.Shard_cache.repaired_lazily;
+      Printf.printf "cache recomputed    %d\n"
+        c.Broker_sim.Shard_cache.recomputed;
+      Printf.printf "cache evicted       %d\n" c.Broker_sim.Shard_cache.evicted;
+      Printf.printf "cache flushed       %d\n" c.Broker_sim.Shard_cache.flushed
 
 let simulate_cmd =
   let brokers =
@@ -282,11 +304,27 @@ let simulate_cmd =
   let retries =
     Arg.(value & opt int 3 & info [ "retries" ] ~doc:"Retry budget for blocked arrivals (chaos mode).")
   in
+  let cache_strategy =
+    Arg.(
+      value
+      & opt string "flush"
+      & info [ "cache-strategy" ]
+          ~doc:
+            "Path-cache strategy: flush (historical flush-on-crash), modulo \
+             (static sharding), ring (consistent hashing).")
+  in
+  let vnodes =
+    Arg.(
+      value
+      & opt int Broker_sim.Shard_cache.default_vnodes
+      & info [ "vnodes" ] ~doc:"Virtual nodes per broker shard (ring strategy).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Flow-level brokerage simulation with admission control")
     Term.(
       const simulate $ topo_arg $ brokers $ sessions $ factor $ seed_arg
-      $ chaos $ mtbf $ mttr $ scenario $ no_failover $ retries)
+      $ chaos $ mtbf $ mttr $ scenario $ no_failover $ retries
+      $ cache_strategy $ vnodes)
 
 (* resilience *)
 let resilience path brokers_path sources seed =

@@ -39,6 +39,7 @@ let experiments =
     { id = "ext_sim"; description = "flow-level brokerage simulation"; artifact = "extension"; report = Ext_sim.report };
     { id = "ext_chaos"; description = "fault injection, failover & availability"; artifact = "extension"; report = Ext_chaos.report };
     { id = "ext_regions"; description = "region-aware selection fairness"; artifact = "extension"; report = Extensions.regions };
+    { id = "ext_churn_cache"; description = "path-cache strategies under broker churn"; artifact = "extension"; report = Ext_churn_cache.report };
   ]
 
 let find id =

@@ -112,6 +112,35 @@ let generate ~rng topo ~brokers ~horizon scenario =
     arr;
   Array.map snd arr
 
+(* Deterministic phased churn: each phase holds a fixed down-set for a
+   fixed duration. At every boundary the previous down-set is diffed
+   against the next one — recovers are emitted before crashes (both in
+   ascending broker order) so the event-queue FIFO tie-break serves the
+   returning brokers first. After the last phase everything still down
+   recovers, keeping crash/recover pairs matched. *)
+let phased phases =
+  let events = ref [] in
+  let push time broker kind = events := { time; broker; kind } :: !events in
+  let t = ref 0.0 in
+  let prev = ref [||] in
+  List.iter
+    (fun (duration, down) ->
+      if Float.is_nan duration || duration <= 0.0 then
+        invalid_arg "Faults.phased: phase duration must be positive";
+      let down = Array.of_list (List.sort_uniq Int.compare (Array.to_list down)) in
+      Array.iter
+        (fun b ->
+          if b < 0 then invalid_arg "Faults.phased: broker id must be >= 0")
+        down;
+      let mem arr b = Array.exists (fun x -> x = b) arr in
+      Array.iter (fun b -> if not (mem down b) then push !t b Recover) !prev;
+      Array.iter (fun b -> if not (mem !prev b) then push !t b Crash) down;
+      prev := down;
+      t := !t +. duration)
+    phases;
+  Array.iter (fun b -> push !t b Recover) !prev;
+  Array.of_list (List.rev !events)
+
 let thin ~rng ~keep events =
   if Float.is_nan keep then invalid_arg "Faults.thin: keep must be a number";
   (* FIFO-match each broker's Crash with its next Recover and decide per

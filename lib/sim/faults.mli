@@ -48,6 +48,19 @@ val generate :
     @raise Invalid_argument on non-positive mtbf/mttr, negative bias or
     horizon. *)
 
+val phased : (float * int array) list -> event array
+(** [phased [(d1, down1); (d2, down2); ...]] is the deterministic churn
+    schedule that holds exactly the brokers of [down_i] down for the
+    [i]-th phase of duration [d_i] (phases are laid back to back from
+    time 0). At each phase boundary, recovers for brokers leaving the
+    down-set precede crashes for brokers entering it (both in ascending
+    broker order); after the final phase every remaining down broker
+    recovers, so crash/recover pairs stay matched. No randomness: the
+    n → n−m → n churn of X8 is the three-phase schedule
+    [[(d, \[||\]); (d', crashed); (d'', \[||\])]].
+    @raise Invalid_argument on a NaN or non-positive phase duration, or a
+    negative broker id. *)
+
 val thin :
   rng:Broker_util.Xrandom.t -> keep:float -> event array -> event array
 (** [thin ~rng ~keep events] keeps each crash/recover pair independently

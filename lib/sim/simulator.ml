@@ -12,8 +12,6 @@ let m_failovers = Obs.Metrics.counter "sim.failovers"
 let m_drops = Obs.Metrics.counter "sim.dropped_midflight"
 let m_retries_scheduled = Obs.Metrics.counter "sim.retries_scheduled"
 let m_breaker_trips = Obs.Metrics.counter "sim.breaker_trips"
-let m_cache_invalidated = Obs.Metrics.counter "sim.cache.invalidated_keys"
-let m_cache_degraded = Obs.Metrics.counter "sim.cache.degraded_flushed"
 let g_queue_depth = Obs.Metrics.gauge "sim.queue.max_depth"
 let t_sim = Obs.Trace.scope "simulator.run"
 
@@ -76,6 +74,7 @@ type stats = {
   broker_downtime : float;
   revenue_lost : float;
   availability : float;
+  cache : Shard_cache.stats;
 }
 
 (* An admitted session's live reservation. [path_brokers] is mutated on
@@ -111,7 +110,7 @@ let validate ~n ~brokers config =
         invalid_arg "Simulator.run: capacity_of must be >= 0")
     brokers
 
-let run ?chaos topo ~brokers ~sessions config =
+let run ?chaos ?(cache = Shard_cache.Flush) topo ~brokers ~sessions config =
   let tr0 = Obs.Trace.enter () in
   let g = topo.Broker_topo.Topology.graph in
   let n = G.n g in
@@ -183,57 +182,24 @@ let run ?chaos topo ~brokers ~sessions config =
         else false
   in
   (* Hop-shortest dominated path per distinct pair, cached under the current
-     liveness. Invalidation is per path key: a crash of broker b evicts
-     exactly the keys whose cached path rides b (reverse index); a recovery
-     evicts the keys computed while any broker was down (they may be
-     suboptimal or spuriously None). Keys computed with every broker up and
-     not touching a crashed broker stay valid for the whole run. *)
-  let path_cache : (int * int, int array option) Hashtbl.t = Hashtbl.create 1024 in
-  let cache_by_broker : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 64 in
-  let degraded_keys : (int * int) list ref = ref [] in
-  let register_key key path =
-    Array.iter
-      (fun v ->
-        if is_broker v then
-          match Hashtbl.find_opt cache_by_broker v with
-          | Some l -> l := key :: !l
-          | None -> Hashtbl.replace cache_by_broker v (ref [ key ]))
-      path
+     liveness. The cache policy — flush-on-crash reverse-index eviction
+     (the historical default) vs sharded assignment with graceful
+     degradation — lives in {!Shard_cache}; the simulator only reports
+     liveness transitions to it. *)
+  let pcache =
+    Shard_cache.create ~strategy:cache ~seed:(0x5A4D lxor chaos_seed) ~n
+      ~shards:brokers ()
   in
   let path_for src dst =
-    let key = (src, dst) in
-    match Hashtbl.find_opt path_cache key with
-    | Some p -> p
-    | None ->
-        let p =
-          match
-            Broker_core.Dominating.find_dominated_path g
-              ~is_broker:is_broker_live src dst
-          with
-          | [] -> None
-          | path -> Some (Array.of_list path)
-        in
-        Hashtbl.replace path_cache key p;
-        if has_chaos then begin
-          (match p with Some path -> register_key key path | None -> ());
-          if !total_down > 0 then degraded_keys := key :: !degraded_keys
-        end;
-        p
-  in
-  let invalidate_broker b =
-    match Hashtbl.find_opt cache_by_broker b with
-    | Some keys ->
-        if Obs.Control.enabled () then
-          Obs.Metrics.add m_cache_invalidated (List.length !keys);
-        List.iter (Hashtbl.remove path_cache) !keys;
-        Hashtbl.remove cache_by_broker b
-    | None -> ()
-  in
-  let flush_degraded () =
-    if Obs.Control.enabled () then
-      Obs.Metrics.add m_cache_degraded (List.length !degraded_keys);
-    List.iter (Hashtbl.remove path_cache) !degraded_keys;
-    degraded_keys := []
+    Shard_cache.find pcache
+      ~compute:(fun () ->
+        match
+          Broker_core.Dominating.find_dominated_path g
+            ~is_broker:is_broker_live src dst
+        with
+        | [] -> None
+        | path -> Some (Array.of_list path))
+      src dst
   in
   let events : ev Event_queue.t = Event_queue.create () in
   (* Fault events enter the queue up front: at equal times they precede the
@@ -368,7 +334,7 @@ let run ?chaos topo ~brokers ~sessions config =
     if down.(b) = 1 then begin
       incr total_down;
       down_since.(b) <- t;
-      invalidate_broker b;
+      Shard_cache.crash pcache b;
       (* In-flight sessions riding b, in session-id order (deterministic). *)
       let affected =
         Hashtbl.fold
@@ -412,7 +378,7 @@ let run ?chaos topo ~brokers ~sessions config =
       if down.(b) = 0 then begin
         decr total_down;
         downtime := !downtime +. (t -. down_since.(b));
-        flush_degraded ()
+        Shard_cache.recover pcache b
       end
     end
   in
@@ -522,6 +488,7 @@ let run ?chaos topo ~brokers ~sessions config =
     broker_downtime = !downtime;
     revenue_lost = !revenue_lost;
     availability;
+    cache = Shard_cache.stats pcache;
   }
   |> fun stats ->
   Obs.Trace.leave t_sim tr0;
@@ -548,3 +515,4 @@ let stats_equal a b =
   && Float.equal a.broker_downtime b.broker_downtime
   && Float.equal a.revenue_lost b.revenue_lost
   && Float.equal a.availability b.availability
+  && Shard_cache.stats_equal a.cache b.cache

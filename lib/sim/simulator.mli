@@ -9,7 +9,11 @@
     fall back to best-effort BGP and count as rejected.
 
     Paths are hop-shortest dominated paths, computed once per distinct
-    (src, dst) pair and cached. Brokers earn [2·price·demand·duration] per
+    (src, dst) pair and cached in a {!Shard_cache} (strategy selectable
+    via [?cache]; the default {!Shard_cache.Flush} reproduces the
+    historical flush-on-crash behavior exactly, so runs without churn are
+    byte-identical to older versions). Brokers earn
+    [2·price·demand·duration] per
     admitted session (both endpoints pay, as in Fig. 6) and pay
     [employee_cost] per non-broker transit hop used.
 
@@ -107,6 +111,9 @@ type stats = {
   revenue_lost : float;  (** refunds issued for mid-flight drops *)
   availability : float;
       (** 1 − downtime / (brokers · horizon); 1.0 without chaos *)
+  cache : Shard_cache.stats;
+      (** path-cache outcome tallies (hits, degraded serves, lazy
+          repairs, recomputes, evictions) for the whole run *)
 }
 
 val delivered_rate : stats -> float
@@ -118,12 +125,17 @@ val stats_equal : stats -> stats -> bool
 
 val run :
   ?chaos:chaos ->
+  ?cache:Shard_cache.strategy ->
   Broker_topo.Topology.t ->
   brokers:int array ->
   sessions:Workload.session array ->
   config ->
   stats
 (** Deterministic given the inputs. Sessions must be sorted by arrival
-    (as {!Workload.generate} produces).
+    (as {!Workload.generate} produces). [?cache] selects the path-cache
+    strategy (default {!Shard_cache.Flush}, the historical behavior);
+    without faults every strategy admits the same sessions — only the
+    cache outcome tallies may differ.
     @raise Invalid_argument on out-of-order arrivals, negative [price],
-    [employee_cost] or [capacity_of], or an out-of-range broker id. *)
+    [employee_cost] or [capacity_of], an out-of-range broker id, or an
+    invalid cache strategy ([Ring] with [vnodes < 1]). *)

@@ -24,6 +24,15 @@ type params = {
 val default_params : params
 (** arrival_rate 10, mean_duration 5, demand 1. *)
 
+val zipf : ?alpha:float -> n:int -> unit -> Broker_core.Traffic.model
+(** Zipf-skewed traffic masses over [n] vertices: vertex [i] has mass
+    proportional to [1/(i+1)^alpha] (default [alpha = 1.2]), normalized to
+    mean 1 like the gravity model. Deterministic. Feeding this to
+    {!generate} concentrates sessions on a small hot set of (src, dst)
+    pairs — the skew that makes path-cache hit rates meaningful (X8).
+    @raise Invalid_argument if [n < 2] or [alpha] is not positive and
+    finite. *)
+
 val generate :
   rng:Broker_util.Xrandom.t ->
   Broker_core.Traffic.model ->

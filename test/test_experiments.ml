@@ -123,6 +123,91 @@ let test_ext_chaos_rows () =
   let rows2 = with_quiet_stdout (fun () -> R.compute ~n_sessions:800 (tiny_ctx ())) in
   check_bool "seed-deterministic" true (rows = rows2)
 
+(* Copied from test_obs.ml: run [f] under a pinned REPRO_DOMAINS. *)
+let with_domains v f =
+  let saved = Sys.getenv_opt "REPRO_DOMAINS" in
+  Unix.putenv "REPRO_DOMAINS" v;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "REPRO_DOMAINS" (Option.value ~default:"" saved))
+    f
+
+let test_ext_churn_cache_rows () =
+  let module R = E.Ext_churn_cache in
+  let run () =
+    with_quiet_stdout (fun () -> R.compute ~requests_per_phase:1200 (tiny_ctx ()))
+  in
+  let phases, remaps = run () in
+  (* Shape: strategies in registry order, phases in schedule order. *)
+  let expect_order =
+    List.concat_map
+      (fun (name, _) -> List.map (fun p -> (name, p)) R.phase_names)
+      R.strategies
+  in
+  check_bool "phase rows ordered by strategy then phase" true
+    (List.map (fun (r : R.phase_row) -> (r.R.strategy, r.R.phase)) phases
+    = expect_order);
+  check_int "one remap row per strategy" (List.length R.strategies)
+    (List.length remaps);
+  let row s p =
+    List.find
+      (fun (r : R.phase_row) ->
+        String.equal r.R.strategy s && String.equal r.R.phase p)
+      phases
+  in
+  List.iter
+    (fun (r : R.phase_row) ->
+      check_bool "lookups positive" true (r.R.lookups > 0);
+      check_bool "hit rate in [0,1]" true
+        (r.R.hit_rate >= 0.0 && r.R.hit_rate <= 1.0))
+    phases;
+  (* Warm phase: no churn yet, so every strategy replays identically. *)
+  let warm_flush = (row "flush" "warm").R.hit_rate in
+  List.iter
+    (fun (name, _) ->
+      check_float (name ^ " warm hit rate matches flush") warm_flush
+        (row name "warm").R.hit_rate)
+    R.strategies;
+  (* The X8 acceptance bar: consistent hashing holds a strictly higher
+     hit rate than static modulo through churn AND after recovery. *)
+  check_bool "ring beats modulo under churn" true
+    ((row "ring" "churn").R.hit_rate > (row "modulo" "churn").R.hit_rate);
+  check_bool "ring beats modulo after recovery" true
+    ((row "ring" "recovered").R.hit_rate > (row "modulo" "recovered").R.hit_rate);
+  (* Remap fractions: ring ~ m/n, modulo ~ (n-1)/n, flush has no owners. *)
+  let remap s = List.find (fun (r : R.remap_row) -> String.equal r.R.strategy s) remaps in
+  let ring = remap "ring" and md = remap "modulo" and fl = remap "flush" in
+  check_bool "flush remap undefined" true (Float.is_nan fl.R.remap_fraction);
+  check_bool "modulo remaps most keys" true (md.R.remap_fraction >= 0.5);
+  check_bool "ring remap bounded" true
+    (ring.R.remap_fraction
+    <= 3.5 *. float_of_int ring.R.crashed_shards /. float_of_int ring.R.shards);
+  check_bool "ring remaps less than modulo" true
+    (ring.R.remap_fraction < md.R.remap_fraction);
+  (* Deterministic: a fresh identically-seeded context replays the rows
+     exactly, and the row values are domain-count independent. *)
+  let d1 = with_domains "1" run and d4 = with_domains "4" run in
+  check_bool "seed-deterministic" true (compare (phases, remaps) d1 = 0);
+  check_bool "identical across REPRO_DOMAINS" true (compare d1 d4 = 0);
+  (* The same schedule end to end through the simulator. *)
+  let sims = with_quiet_stdout (fun () -> R.compute_sim ~n_sessions:600 (tiny_ctx ())) in
+  check_bool "one sim row per strategy, registry order" true
+    (List.map (fun (r : R.sim_row) -> r.R.strategy) sims
+    = List.map fst R.strategies);
+  List.iter
+    (fun (r : R.sim_row) ->
+      check_bool "delivered in [0,1]" true
+        (r.R.delivered >= 0.0 && r.R.delivered <= 1.0);
+      check_bool "sim hit rate in [0,1]" true
+        (r.R.sim_hit_rate >= 0.0 && r.R.sim_hit_rate <= 1.0))
+    sims;
+  (* Only the legacy strategy flushes on recovery; sharded ones never do. *)
+  List.iter
+    (fun (r : R.sim_row) ->
+      if not (String.equal r.R.strategy "flush") then
+        check_int (r.R.strategy ^ " never flushes") 0 r.R.flushed)
+    sims
+
 let test_all_experiments_run () =
   let ctx = tiny_ctx () in
   let reports = with_quiet_stdout (fun () -> E.All.run_all ctx) in
@@ -162,6 +247,7 @@ let suite =
         Alcotest.test_case "fig2a" `Quick test_fig2a_result;
         Alcotest.test_case "fig3" `Quick test_fig3_correlation_decays;
         Alcotest.test_case "ext_chaos" `Quick test_ext_chaos_rows;
+        Alcotest.test_case "ext_churn_cache" `Quick test_ext_churn_cache_rows;
         Alcotest.test_case "lookup unknown" `Quick test_run_one_unknown;
         Alcotest.test_case "find" `Quick test_find;
       ] );

@@ -70,9 +70,9 @@ let test_json_roundtrip_experiments () =
       | Error msg -> Alcotest.fail (id ^ ": " ^ msg))
     (E.All.run_all (tiny_ctx ()))
 
-(* Text byte-identity: the three pinned experiments must render exactly
-   the goldens captured from the pre-IR printing code (fresh context,
-   scale 0.02, sources 192, seed 42 — the CI reproduction point). *)
+(* Text byte-identity: the four pinned experiments must render exactly
+   the goldens captured at the CI reproduction point (fresh context,
+   scale 0.02, sources 192, seed 42). *)
 
 let read_file path = In_channel.with_open_bin path In_channel.input_all
 let render r = Format.asprintf "%a" Rtext.pp r
@@ -174,6 +174,8 @@ let suite =
         Alcotest.test_case "fig5c" `Quick (test_text_golden "fig5c");
         Alcotest.test_case "ext_resilience" `Quick
           (test_text_golden "ext_resilience");
+        Alcotest.test_case "ext_churn_cache" `Quick
+          (test_text_golden "ext_churn_cache");
       ] );
     ( "report.diff",
       [

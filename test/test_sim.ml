@@ -574,6 +574,206 @@ let test_sim_chaos_deterministic () =
   check_bool "availability in [0,1]" true
     (a.Sim.availability >= 0.0 && a.Sim.availability <= 1.0)
 
+(* ---------- Shard cache ---------- *)
+
+module Cache = Broker_sim.Shard_cache
+
+let test_cache_validation () =
+  Alcotest.check_raises "ring vnodes < 1"
+    (Invalid_argument "Shard_cache.create: vnodes must be >= 1") (fun () ->
+      ignore
+        (Cache.create ~strategy:(Cache.Ring { vnodes = 0 }) ~n:4 ~shards:[| 0 |] ()));
+  Alcotest.check_raises "shard out of range"
+    (Invalid_argument "Shard_cache.create: shard id out of range") (fun () ->
+      ignore (Cache.create ~n:4 ~shards:[| 4 |] ()));
+  (match Cache.strategy_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown strategy accepted");
+  (match Cache.strategy_of_string ~vnodes:0 "ring" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ring with vnodes=0 accepted");
+  check_bool "ring parses" true
+    (Cache.strategy_of_string "ring"
+    = Ok (Cache.Ring { vnodes = Cache.default_vnodes }));
+  check_bool "case-insensitive" true
+    (Cache.strategy_of_string "FLUSH" = Ok Cache.Flush);
+  check_bool "modulo parses" true
+    (Cache.strategy_of_string "modulo" = Ok Cache.Modulo);
+  Alcotest.check_raises "phase duration zero"
+    (Invalid_argument "Faults.phased: phase duration must be positive") (fun () ->
+      ignore (Faults.phased [ (0.0, [||]) ]));
+  Alcotest.check_raises "phase duration nan"
+    (Invalid_argument "Faults.phased: phase duration must be positive") (fun () ->
+      ignore (Faults.phased [ (Float.nan, [| 1 |]) ]));
+  Alcotest.check_raises "phase broker negative"
+    (Invalid_argument "Faults.phased: broker id must be >= 0") (fun () ->
+      ignore (Faults.phased [ (1.0, [| -1 |]) ]));
+  Alcotest.check_raises "zipf too small"
+    (Invalid_argument "Workload.zipf: need at least 2 vertices") (fun () ->
+      ignore (Workload.zipf ~n:1 ()));
+  Alcotest.check_raises "zipf bad alpha"
+    (Invalid_argument "Workload.zipf: alpha must be positive and finite")
+    (fun () -> ignore (Workload.zipf ~alpha:0.0 ~n:8 ()))
+
+let test_faults_phased () =
+  let ev = Faults.phased [ (10.0, [||]); (5.0, [| 2; 1 |]); (5.0, [||]) ] in
+  let expect =
+    [|
+      fault ~time:10.0 ~broker:1 Faults.Crash;
+      fault ~time:10.0 ~broker:2 Faults.Crash;
+      fault ~time:15.0 ~broker:1 Faults.Recover;
+      fault ~time:15.0 ~broker:2 Faults.Recover;
+    |]
+  in
+  check_bool "churn window diffs the down-sets" true (ev = expect);
+  (* A broker down across consecutive phases emits nothing at the seam,
+     and the trailing boundary always recovers it. *)
+  let ev2 = Faults.phased [ (4.0, [| 7 |]); (4.0, [| 7; 7 |]) ] in
+  let expect2 =
+    [|
+      fault ~time:0.0 ~broker:7 Faults.Crash;
+      fault ~time:8.0 ~broker:7 Faults.Recover;
+    |]
+  in
+  check_bool "stay-down spans phases" true (ev2 = expect2)
+
+(* Satellite: the reverse index must never outlive the entries it points
+   at. Synthetic compute closures stand in for the path solver so each
+   cached path is chosen exactly. *)
+let test_cache_flush_invariant () =
+  let c = Cache.create ~n:6 ~shards:[| 1; 3; 5 |] () in
+  let find path src dst = Cache.find c ~compute:(fun () -> path) src dst in
+  ignore (find (Some [| 0; 1; 2 |]) 0 2);
+  ignore (find (Some [| 0; 1; 3; 4 |]) 0 4);
+  check_int "two entries" 2 (Cache.size c);
+  check_bool "invariant warm" true (Cache.invariant_ok c);
+  Cache.crash c 1;
+  (* Both paths rode broker 1. Evicting (0,4) must also purge it from
+     broker 3's reverse set, not only from the store. *)
+  check_int "all riders evicted" 0 (Cache.size c);
+  check_int "evicted tally" 2 (Cache.stats c).Cache.evicted;
+  check_bool "invariant after crash" true (Cache.invariant_ok c);
+  (* Re-cache (0,4) along the surviving broker, then crash 3: exactly the
+     one current rider goes; a stale index would claim the old entry too. *)
+  ignore (find (Some [| 0; 3; 4 |]) 0 4);
+  Cache.crash c 3;
+  check_int "only the live rider evicted" 3 (Cache.stats c).Cache.evicted;
+  check_bool "invariant after second crash" true (Cache.invariant_ok c);
+  (* A key computed under the outage is flushed once brokers recover. *)
+  ignore (find (Some [| 2; 5; 4 |]) 2 4);
+  check_int "degraded entry cached" 1 (Cache.size c);
+  Cache.recover c 1;
+  Cache.recover c 3;
+  check_int "recovery flushes the degraded key" 1 (Cache.stats c).Cache.flushed;
+  check_int "store empty after flush" 0 (Cache.size c);
+  check_bool "invariant after recovery" true (Cache.invariant_ok c)
+
+(* Satellite: crashing one of n shards remaps a bounded fraction of keys
+   under Ring and nearly everything under Modulo. Owners are hash-derived
+   and deterministic, so the property is exact per (nshards, seed). *)
+let cache_qcheck_remap =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"ring remap bounded, modulo near-total"
+       QCheck.(pair (int_range 4 12) (int_bound 1000))
+       (fun (nshards, seed) ->
+         let n = 64 in
+         let shards = Array.init nshards Fun.id in
+         let keys =
+           List.concat_map
+             (fun a -> List.init 16 (fun b -> (a, b + 16)))
+             (List.init 16 Fun.id)
+         in
+         let frac strategy =
+           let c = Cache.create ~strategy ~seed ~n ~shards () in
+           let before = List.map (fun (a, b) -> Cache.owner c a b) keys in
+           Cache.crash c (nshards - 1);
+           let after = List.map (fun (a, b) -> Cache.owner c a b) keys in
+           let covered =
+             List.for_all Option.is_some before && List.for_all Option.is_some after
+           in
+           let moved =
+             List.fold_left2
+               (fun acc o o' -> if o <> o' then acc + 1 else acc)
+               0 before after
+           in
+           (covered, float_of_int moved /. float_of_int (List.length keys))
+         in
+         let ring_ok, ring = frac (Cache.Ring { vnodes = 64 }) in
+         let md_ok, md = frac Cache.Modulo in
+         ring_ok && md_ok
+         && ring <= 3.5 /. float_of_int nshards
+         && md >= 0.5))
+
+(* Without churn every strategy degenerates to the same
+   compute-once-then-hit behavior, so whole-run stats (cache tallies
+   included) are field-for-field identical to the Flush default. *)
+let test_cache_noop_equivalence () =
+  let t = small_internet ~seed:3 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let brokers = Broker_core.Maxsg.run g ~k:15 in
+  let model = Broker_core.Traffic.gravity ~rng:(rng ()) g in
+  let sessions =
+    Workload.generate ~rng:(rng ()) model ~n_sessions:600 Workload.default_params
+  in
+  let config = Sim.degree_capacity g ~factor:0.2 in
+  let plain = Sim.run t ~brokers ~sessions config in
+  let modulo = Sim.run ~cache:Cache.Modulo t ~brokers ~sessions config in
+  let ring =
+    Sim.run ~cache:(Cache.Ring { vnodes = 32 }) t ~brokers ~sessions config
+  in
+  check_bool "modulo = flush without churn" true (Sim.stats_equal plain modulo);
+  check_bool "ring = flush without churn" true (Sim.stats_equal plain ring)
+
+(* Graceful-degradation outcomes of a sharded lookup, one by one. Owners
+   are hash-placed, so riders and key choices adapt to [owner] instead of
+   hard-coding shard ids. *)
+let test_cache_degraded_outcomes () =
+  let c =
+    Cache.create ~strategy:(Cache.Ring { vnodes = 32 }) ~seed:5 ~n:10
+      ~shards:[| 0; 1; 2; 3 |] ()
+  in
+  let find path src dst = Cache.find c ~compute:(fun () -> path) src dst in
+  let stat () = Cache.stats c in
+  (* A rider broker that does not own (6,7): crashing it invalidates the
+     cached path without purging the entry's own shard. *)
+  let owner67 = Option.get (Cache.owner c 6 7) in
+  let rider = if owner67 = 0 then 1 else 0 in
+  let spare = if owner67 = 2 then 3 else 2 in
+  (* A second key whose full-liveness owner is not the rider, so the
+     recovery handback compaction cannot evict it mid-test. *)
+  let deg_src, deg_dst =
+    List.find
+      (fun (a, b) -> Option.get (Cache.owner c a b) <> rider)
+      [ (8, 9); (9, 8); (5, 8); (8, 5); (5, 9); (9, 5); (4, 8); (8, 4) ]
+  in
+  ignore (find (Some [| 6; rider; 7 |]) 6 7);
+  check_int "cold miss recomputes" 1 (stat ()).Cache.recomputed;
+  ignore (find (Some [| 6; rider; 7 |]) 6 7);
+  check_int "clean hit" 1 (stat ()).Cache.hits;
+  Cache.crash c rider;
+  check_bool "invariant after crash" true (Cache.invariant_ok c);
+  (* The cached path lost its only dominating broker: the next lookup
+     repairs it lazily with a path avoiding the outage. *)
+  (match find (Some [| 6; spare; 7 |]) 6 7 with
+  | Some p -> check_bool "repair avoids the down broker" true (p = [| 6; spare; 7 |])
+  | None -> Alcotest.fail "lazy repair returned no path");
+  check_int "repaired lazily" 1 (stat ()).Cache.repaired_lazily;
+  (* A key computed during the outage is degraded: valid hits are served
+     but tallied as degraded service while the outage lasts. *)
+  ignore (find (Some [| deg_src; spare; deg_dst |]) deg_src deg_dst);
+  check_int "outage miss recomputes" 2 (stat ()).Cache.recomputed;
+  ignore (find (Some [| deg_src; spare; deg_dst |]) deg_src deg_dst);
+  check_int "served degraded" 1 (stat ()).Cache.served_degraded;
+  Cache.recover c rider;
+  check_bool "invariant after recovery" true (Cache.invariant_ok c);
+  (* Once the outage clears, the degraded entry refreshes on its next hit
+     (the lazy analogue of Flush's recovery flush) and then hits clean. *)
+  ignore (find (Some [| deg_src; spare; deg_dst |]) deg_src deg_dst);
+  check_int "post-outage refresh recomputes" 3 (stat ()).Cache.recomputed;
+  ignore (find (Some [| deg_src; spare; deg_dst |]) deg_src deg_dst);
+  check_int "clean hit after refresh" 2 (stat ()).Cache.hits;
+  check_int "lookup accounting" 7 (stat ()).Cache.lookups
+
 (* ---------- Latency ---------- *)
 
 let test_latency_assign_all_edges () =
@@ -693,6 +893,18 @@ let suite =
           test_sim_retry_admits_after_backoff;
         Alcotest.test_case "breaker sheds" `Quick test_sim_breaker_sheds;
         Alcotest.test_case "deterministic" `Quick test_sim_chaos_deterministic;
+      ] );
+    ( "sim.cache",
+      [
+        Alcotest.test_case "validation" `Quick test_cache_validation;
+        Alcotest.test_case "phased churn schedule" `Quick test_faults_phased;
+        Alcotest.test_case "flush reverse-index invariant" `Quick
+          test_cache_flush_invariant;
+        cache_qcheck_remap;
+        Alcotest.test_case "no-churn equivalence" `Quick
+          test_cache_noop_equivalence;
+        Alcotest.test_case "degraded outcomes" `Quick
+          test_cache_degraded_outcomes;
       ] );
     ( "routing.latency",
       [
