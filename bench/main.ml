@@ -6,9 +6,10 @@
      main.exe --timings       run only the Bechamel timing suites
      main.exe --json FILE     with --timings/--perf-smoke: write per-kernel
                               medians as JSON (the BENCH_*.json trajectory)
-     main.exe --perf-smoke    small-scale connectivity kernel pair only;
+     main.exe --perf-smoke    small-scale connectivity kernel trio only;
                               exits non-zero unless the projected engine
-                              beats the legacy path
+                              beats the legacy path AND the MS-BFS engine
+                              beats the scalar projected one
      main.exe --timings --fullscale
                               additionally hand-time the connectivity pair
                               at REPRO_SCALE (Table 1 / Fig 2a shape)
@@ -50,9 +51,11 @@ let experiment_tests () =
              ignore (e.E.All.report ctx))))
     E.All.experiments
 
-(* The legacy/projected pair must time the exact same evaluation (same
-   brokers, same sources, same l_max): broker selection and source
-   sampling are hoisted out of the staged thunks. *)
+(* The legacy/projected/msbfs trio must time the exact same evaluation
+   (same brokers, same sources, same l_max): broker selection and source
+   sampling are hoisted out of the staged thunks. 192 sources = three
+   full MS-BFS batches plus a ragged tail, and the sampled-evaluator
+   shape the acceptance speedups are quoted against. *)
 let connectivity_setup ctx =
   let g = E.Ctx.graph ctx in
   let n = Broker_graph.Graph.n g in
@@ -61,7 +64,7 @@ let connectivity_setup ctx =
   let srcs =
     Broker_util.Sampling.without_replacement
       (Broker_util.Xrandom.create 3)
-      ~n ~k:(min 32 n)
+      ~n ~k:(min 192 n)
   in
   (g, is_broker, srcs)
 
@@ -77,6 +80,11 @@ let connectivity_pair ctx =
     Test.make ~name:"connectivity/projected"
       (Staged.stage (fun () ->
            ignore
+             (Broker_core.Connectivity.eval_sources_scalar ~l_max:10 g
+                ~is_broker srcs)));
+    Test.make ~name:"connectivity/msbfs"
+      (Staged.stage (fun () ->
+           ignore
              (Broker_core.Connectivity.eval_sources ~l_max:10 g ~is_broker
                 srcs)));
   ]
@@ -87,10 +95,23 @@ let kernel_tests () =
   let g = E.Ctx.graph ctx in
   let n = Broker_graph.Graph.n g in
   let rng = Broker_util.Xrandom.create 3 in
+  (* One full MS-BFS batch (a word's worth of lanes) on a reused
+     workspace: the raw sweep kernel underneath connectivity/msbfs. *)
+  let msbfs_ws = Broker_graph.Msbfs.workspace () in
+  let msbfs_srcs =
+    Broker_util.Sampling.without_replacement
+      (Broker_util.Xrandom.create 5)
+      ~n
+      ~k:(min Broker_graph.Msbfs.lanes n)
+  in
   [
     Test.make ~name:"bfs_full"
       (Staged.stage (fun () ->
            ignore (Broker_graph.Bfs.distances g (Broker_util.Xrandom.int rng n))));
+    Test.make ~name:"msbfs_sweep"
+      (Staged.stage (fun () ->
+           Broker_graph.Msbfs.run msbfs_ws g msbfs_srcs ~lo:0
+             ~len:(Array.length msbfs_srcs)));
     Test.make ~name:"pagerank"
       (Staged.stage (fun () -> ignore (Broker_graph.Pagerank.compute ~max_iter:20 g)));
     Test.make ~name:"kcore"
@@ -312,9 +333,17 @@ let connectivity_speedup stats =
   pair_speedup stats ~legacy:"connectivity/legacy"
     ~projected:"connectivity/projected"
 
+let msbfs_speedup stats =
+  pair_speedup stats ~legacy:"connectivity/projected"
+    ~projected:"connectivity/msbfs"
+
 let fullscale_speedup stats =
   pair_speedup stats ~legacy:"connectivity_fullscale/legacy"
     ~projected:"connectivity_fullscale/projected"
+
+let fullscale_msbfs_speedup stats =
+  pair_speedup stats ~legacy:"connectivity_fullscale/projected"
+    ~projected:"connectivity_fullscale/msbfs"
 
 let write_json ~path ?(counters = []) suites =
   let buf = Buffer.create 4096 in
@@ -351,7 +380,9 @@ let write_json ~path ?(counters = []) suites =
       (fun (key, v) -> Option.map (fun s -> (key, s)) v)
       [
         ("connectivity_speedup", connectivity_speedup all_stats);
+        ("msbfs_vs_projected", msbfs_speedup all_stats);
         ("connectivity_fullscale_speedup", fullscale_speedup all_stats);
+        ("msbfs_vs_projected_fullscale", fullscale_msbfs_speedup all_stats);
       ]
   in
   Buffer.add_string buf "  \"derived\": {";
@@ -416,12 +447,17 @@ let fullscale_pair () =
              ~is_broker srcs));
     timed "connectivity_fullscale/projected" (fun () ->
         ignore
+          (Broker_core.Connectivity.eval_sources_scalar ~l_max:10 g ~is_broker
+             srcs));
+    timed "connectivity_fullscale/msbfs" (fun () ->
+        ignore
           (Broker_core.Connectivity.eval_sources ~l_max:10 g ~is_broker srcs));
   ]
 
-(* One instrumented pass of the projected connectivity kernel at a fixed
-   small scale: the deterministic Broker_obs counter fingerprint attached
-   to the brokerset-bench/2 JSON. Runs outside the timed iterations so
+(* One instrumented pass of the default (MS-BFS) connectivity kernel at a
+   fixed small scale: the deterministic Broker_obs counter fingerprint
+   attached to the brokerset-bench/2 JSON, now including the msbfs.*
+   sweep/word counters. Runs outside the timed iterations so
    Bechamel's adaptive sample counts cannot perturb the counts, and resets
    the registry first so earlier suites don't leak in. Empty under
    --profile obs-absent. *)
@@ -478,16 +514,24 @@ let run_timings ~json ~fullscale () =
   (match connectivity_speedup all_stats with
   | Some s -> Printf.printf "\nconnectivity projected vs legacy: %.2fx\n" s
   | None -> ());
+  (match msbfs_speedup all_stats with
+  | Some s -> Printf.printf "connectivity msbfs vs projected: %.2fx\n" s
+  | None -> ());
   (match fullscale_speedup all_stats with
   | Some s ->
       Printf.printf "connectivity full-scale projected vs legacy: %.2fx\n" s
+  | None -> ());
+  (match fullscale_msbfs_speedup all_stats with
+  | Some s ->
+      Printf.printf "connectivity full-scale msbfs vs projected: %.2fx\n" s
   | None -> ());
   match json with
   | Some path -> write_json ~path ~counters:(counter_snapshot ()) suites
   | None -> ()
 
-(* CI perf gate: time only the connectivity kernel pair at small scale and
-   fail unless the projected engine beats the legacy path. *)
+(* CI perf gate: time only the connectivity kernel trio at small scale and
+   fail unless (a) the projected engine beats the legacy path and (b) the
+   bit-parallel MS-BFS engine beats the scalar projected one. *)
 let perf_smoke ~json () =
   let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:11 () in
   let stats = run_suite ~quota:1.0 "kernels" (connectivity_pair ctx) in
@@ -496,7 +540,7 @@ let perf_smoke ~json () =
   | Some path ->
       write_json ~path ~counters:(counter_snapshot ()) [ ("kernels", stats) ]
   | None -> ());
-  match connectivity_speedup stats with
+  (match connectivity_speedup stats with
   | Some s when s > 1.0 ->
       Printf.printf "perf-smoke OK: projected engine is %.2fx faster\n" s
   | Some s ->
@@ -504,6 +548,17 @@ let perf_smoke ~json () =
       exit 1
   | None ->
       prerr_endline "perf-smoke FAIL: connectivity kernels missing";
+      exit 1);
+  match msbfs_speedup stats with
+  | Some s when s > 1.0 ->
+      Printf.printf "perf-smoke OK: msbfs engine is %.2fx faster than projected\n"
+        s
+  | Some s ->
+      Printf.printf
+        "perf-smoke FAIL: msbfs engine is not faster than projected (%.2fx)\n" s;
+      exit 1
+  | None ->
+      prerr_endline "perf-smoke FAIL: msbfs connectivity kernel missing";
       exit 1
 
 let () =

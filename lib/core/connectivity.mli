@@ -62,14 +62,28 @@ val eval_sources :
   int array ->
   curve
 (** Evaluation over an explicit source array. All evaluators (including
-    this one) run on the dominated-path BFS engine: the broker-dominated
+    this one) run on the bit-parallel MS-BFS engine: the broker-dominated
     subgraph is materialized once per call ({!Broker_graph.Projected}),
-    each source is a closure-free direction-optimizing BFS on a per-domain
-    reusable workspace ({!Broker_graph.Bfs.run}), and sources are strided
-    across OCaml 5 domains ({!Broker_util.Parallel.strided}). Every
-    accumulated quantity is an integer count, so results are deterministic
-    and bit-identical to a sequential run (and to
-    {!eval_sources_reference}) for any [REPRO_DOMAINS]. *)
+    sources are packed {!Broker_graph.Msbfs.lanes} per machine word and
+    each batch is settled by word-parallel sweeps on a per-domain
+    reusable workspace ({!Broker_graph.Msbfs.run}), and batches are
+    strided across OCaml 5 domains ({!Broker_util.Parallel.strided}).
+    Batch composition depends only on the source order and every
+    accumulated quantity is an integer count, so results are
+    deterministic and bit-identical to a sequential run (and to
+    {!eval_sources_scalar} and {!eval_sources_reference}) for any
+    [REPRO_DOMAINS]. *)
+
+val eval_sources_scalar :
+  ?l_max:int ->
+  Broker_graph.Graph.t ->
+  is_broker:(int -> bool) ->
+  int array ->
+  curve
+(** The scalar projected engine (one direction-optimizing
+    {!Broker_graph.Bfs.run} per source over the projected subgraph) —
+    the pre-MS-BFS default. Kept as the [connectivity/projected] bench
+    kernel and a second equivalence oracle for the batched path. *)
 
 val eval_sources_reference :
   ?l_max:int ->

@@ -10,6 +10,7 @@ type t = {
   mutable order : int array;  (* insertion order; first [n_brokers] live *)
   mutable n_brokers : int;
   mutable n_covered : int;
+  msbfs : Broker_graph.Msbfs.workspace;  (* scratch for [gains_into] *)
 }
 
 let create graph =
@@ -21,6 +22,7 @@ let create graph =
     order = [||];
     n_brokers = 0;
     n_covered = 0;
+    msbfs = Broker_graph.Msbfs.workspace ();
   }
 
 let graph t = t.graph
@@ -40,6 +42,19 @@ let gain t v =
   G.iter_neighbors t.graph v (fun w ->
       if not (Bitset.mem t.covered_set w) then incr acc);
   !acc
+
+(* Batched [gain] on the MS-BFS kernel: a depth-<=1 batch settles exactly
+   the closed neighborhood of each candidate in its lane, so the per-lane
+   count of settled-and-uncovered vertices is that candidate's marginal
+   gain. The greedy selectors (CELF, MaxSG) seed their heaps with this —
+   candidates probe [Msbfs.lanes] at a time instead of one closure-built
+   neighbor sweep each. Gains are identical to [gain] by construction
+   (self-loop-free CSR: the candidate itself is the lone depth-0 settle). *)
+let gains_into t cands ~lo ~len out =
+  Broker_graph.Msbfs.run t.msbfs t.graph ~max_depth:1 cands ~lo ~len;
+  Broker_graph.Msbfs.lane_counts_into t.msbfs
+    ~keep:(fun w -> not (Bitset.unsafe_mem t.covered_set w))
+    out
 
 let push_order t v =
   let cap = Array.length t.order in

@@ -36,6 +36,15 @@ val gain : t -> int -> int
 (** [gain t v] = [f (B ∪ {v}) - f B], i.e. uncovered vertices in the closed
     neighbourhood of [v]. O(deg v). *)
 
+val gains_into : t -> int array -> lo:int -> len:int -> int array -> unit
+(** [gains_into t cands ~lo ~len out] evaluates
+    [gain t cands.(lo + b)] for each [b < len] into [out.(b)], riding the
+    bit-parallel MS-BFS kernel ({!Broker_graph.Msbfs}): one depth-1
+    batch settles every candidate's closed neighbourhood word-parallel,
+    and per-lane uncovered counts are the gains — identical to calling
+    {!gain} per candidate. [len] at most [Broker_graph.Msbfs.lanes];
+    entries of [out] beyond [len] are untouched. *)
+
 val add : t -> int -> unit
 (** Add a broker. Adding an existing broker is a no-op. *)
 

@@ -53,14 +53,33 @@ let celf_into cov ~k =
   evaluations := 0;
   let heap = Heap.create ~initial_capacity:n Heap.Max in
   let cached_gain = Array.make n (-1) in
+  (* Heap seeding rides the MS-BFS kernel: candidates are gathered in
+     ascending order and their gains probed [Msbfs.lanes] per word-
+     parallel batch. Gains, eval counts, and push order are identical to
+     the scalar per-vertex loop this replaces (pop order never depended
+     on push order — the vertex id is folded into the priority). *)
+  let cands = Array.make (max 1 n) 0 in
+  let n_cands = ref 0 in
   for v = 0 to n - 1 do
     if not (Coverage.is_broker cov v) then begin
+      cands.(!n_cands) <- v;
+      incr n_cands
+    end
+  done;
+  let gains = Array.make Broker_graph.Msbfs.lanes 0 in
+  let lo = ref 0 in
+  while !lo < !n_cands do
+    let len = min Broker_graph.Msbfs.lanes (!n_cands - !lo) in
+    Coverage.gains_into cov cands ~lo:!lo ~len gains;
+    for b = 0 to len - 1 do
+      let v = cands.(!lo + b) in
       incr evaluations;
       Obs.Metrics.incr m_gain_evals;
-      let gain = Coverage.gain cov v in
+      let gain = gains.(b) in
       cached_gain.(v) <- gain;
       if gain > 0 then Heap.push heap ~priority:(priority_of ~n gain v) v
-    end
+    done;
+    lo := !lo + len
   done;
   let continue = ref true in
   while !continue && Coverage.size cov < k do

@@ -22,21 +22,45 @@ let grow cov ~k =
   let heap = Heap.create ~initial_capacity:256 Heap.Max in
   let cached_gain = Array.make n (-1) in
   let enqueued = Array.make n false in
-  let enqueue v =
+  (* New candidates are staged, then their gains probed through the
+     word-parallel MS-BFS batch evaluator ([Coverage.gains_into]) and
+     pushed in staging order. Each flush happens against a fixed covered
+     set (staging never mutates coverage), so gains, cached values, and
+     pop order are identical to probing one candidate at a time. *)
+  let staged = Array.make (max 1 n) 0 in
+  let n_staged = ref 0 in
+  let stage v =
     if (not enqueued.(v)) && not (Coverage.is_broker cov v) then begin
       enqueued.(v) <- true;
-      let gain = Coverage.gain cov v in
-      cached_gain.(v) <- gain;
-      if gain > 0 then Heap.push heap ~priority:(priority_of ~n gain v) v
+      staged.(!n_staged) <- v;
+      incr n_staged
     end
+  in
+  let gains = Array.make Broker_graph.Msbfs.lanes 0 in
+  let flush () =
+    let lo = ref 0 in
+    while !lo < !n_staged do
+      let len = min Broker_graph.Msbfs.lanes (!n_staged - !lo) in
+      Coverage.gains_into cov staged ~lo:!lo ~len gains;
+      for b = 0 to len - 1 do
+        let v = staged.(!lo + b) in
+        let gain = gains.(b) in
+        cached_gain.(v) <- gain;
+        if gain > 0 then Heap.push heap ~priority:(priority_of ~n gain v) v
+      done;
+      lo := !lo + len
+    done;
+    n_staged := 0
   in
   let add_broker v =
     Coverage.add cov v;
-    enqueue v;
-    G.iter_neighbors g v (fun w -> enqueue w)
+    stage v;
+    G.iter_neighbors g v (fun w -> stage w);
+    flush ()
   in
   (* Seed candidacy with the currently covered region. *)
-  Broker_util.Bitset.iter enqueue (Coverage.covered cov);
+  Broker_util.Bitset.iter stage (Coverage.covered cov);
+  flush ();
   let continue = ref true in
   while !continue && Coverage.size cov < k do
     match Heap.pop heap with

@@ -1,0 +1,355 @@
+module Bitset = Broker_util.Bitset
+module Obs = Broker_obs
+
+let lanes = Bitset.bits_per_word
+
+(* Every word array below is indexed by vertex and carries a stamp array
+   that says whether its word is meaningful:
+
+     [seen]  — bits of lanes whose BFS has settled the vertex; valid for
+               the whole batch iff [seen_stamp.(v) = epoch].
+     [front] — bits newly settled at the vertex on the *previous* level
+               (the frontier being expanded); valid iff
+               [front_stamp.(v) = front_tick].
+     [nxt]   — bits being settled at the vertex on the level under
+               construction; valid iff [nxt_stamp.(v) = tick].
+
+   [epoch] bumps once per batch and [tick] once per level (monotonically,
+   across batches), so no array is ever cleared: a stale word is simply
+   unreadable under its stamp. [front]/[nxt] swap wholesale (words and
+   stamps together) at the end of each level, [front_tick] following. *)
+type workspace = {
+  mutable cap : int;  (* arrays below are sized for [cap] vertices *)
+  mutable epoch : int;
+  mutable tick : int;
+  mutable seen : int array;
+  mutable seen_stamp : int array;
+  mutable front : int array;
+  mutable front_stamp : int array;
+  mutable front_tick : int;
+  mutable nxt : int array;
+  mutable nxt_stamp : int array;
+  mutable q_cur : int array;  (* vertices with a valid front word *)
+  mutable q_next : int array;  (* vertices gaining bits this level *)
+  mutable touched : int array;  (* distinct vertices settled this batch *)
+  mutable n_touched : int;
+  mutable levels : int array;  (* levels.(d) = (lane,vertex) pairs at depth d *)
+  mutable max_level : int;
+  mutable pairs : int;  (* settled pairs at depth >= 1 *)
+  mutable len : int;  (* lanes active in the last run *)
+}
+
+let workspace () =
+  {
+    cap = 0;
+    epoch = 0;
+    tick = 0;
+    seen = [||];
+    seen_stamp = [||];
+    front = [||];
+    front_stamp = [||];
+    front_tick = 0;
+    nxt = [||];
+    nxt_stamp = [||];
+    q_cur = [||];
+    q_next = [||];
+    touched = [||];
+    n_touched = 0;
+    levels = [||];
+    max_level = 0;
+    pairs = 0;
+    len = 0;
+  }
+
+let ensure ws n =
+  if ws.cap < n then begin
+    ws.cap <- n;
+    ws.seen <- Array.make n 0;
+    ws.seen_stamp <- Array.make n 0;
+    ws.front <- Array.make n 0;
+    ws.front_stamp <- Array.make n 0;
+    ws.nxt <- Array.make n 0;
+    ws.nxt_stamp <- Array.make n 0;
+    ws.q_cur <- Array.make n 0;
+    ws.q_next <- Array.make n 0;
+    ws.touched <- Array.make n 0;
+    ws.levels <- Array.make (n + 1) 0;
+    (* Fresh stamps are all 0; restarting both clocks keeps every stamp
+       guard false until a vertex is actually written. *)
+    ws.epoch <- 0;
+    ws.tick <- 0;
+    ws.front_tick <- 0
+  end
+
+(* Same Beamer-style switching thresholds as the scalar engine (Bfs):
+   expand bottom-up once the frontier's out-arcs exceed 1/alpha of the
+   arcs still incident to untouched vertices, fall back top-down when the
+   frontier shrinks below n/beta vertices. Both directions settle the
+   same bits at the same depths, so every count below is independent of
+   the heuristic. *)
+let alpha = 14
+let beta = 24
+
+(* Observability (Broker_obs): all counters are commutative int sums over
+   deterministically composed batches, so totals are REPRO_DOMAINS-
+   independent and diffable, exactly like the bfs.* family. *)
+let m_batches = Obs.Metrics.counter "msbfs.batches"
+let m_lanes = Obs.Metrics.counter "msbfs.lanes"
+let m_sweeps = Obs.Metrics.counter "msbfs.sweeps"
+let m_sweeps_td = Obs.Metrics.counter "msbfs.sweeps.top_down"
+let m_sweeps_bu = Obs.Metrics.counter "msbfs.sweeps.bottom_up"
+let m_active_words = Obs.Metrics.counter "msbfs.active_words"
+let m_frontier_bits = Obs.Metrics.counter "msbfs.frontier_bits"
+let m_settled_pairs = Obs.Metrics.counter "msbfs.settled_pairs"
+let h_frontier_words = Obs.Metrics.histogram "msbfs.frontier_words"
+let t_run = Obs.Trace.scope "msbfs.run"
+let t_sweep_td = Obs.Trace.scope "msbfs.sweep.top_down"
+let t_sweep_bu = Obs.Trace.scope "msbfs.sweep.bottom_up"
+
+(* The sweep is the whole point of the module: one pass over the frontier
+   advances up to [lanes] BFS traversals with three word ops per arc
+   (AND-NOT against [seen], OR into [seen] and [nxt]); per-level pair
+   counts come from one popcount per frontier word instead of any
+   per-bit loop. Checked [@brokercheck.noalloc]: all loop scratch is
+   hoisted refs, and per-arc work is pure int ops. *)
+let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
+  let n = Graph.n g in
+  if len < 1 || len > lanes then invalid_arg "Msbfs: batch size out of range";
+  if lo < 0 || len > Array.length sources - lo then
+    invalid_arg "Msbfs: source range out of bounds";
+  (* Validate the whole batch before touching any workspace state. *)
+  for b = 0 to len - 1 do
+    let s = Array.unsafe_get sources (lo + b) in
+    if s < 0 || s >= n then invalid_arg "Msbfs: source out of range"
+  done;
+  ensure ws n;
+  ws.epoch <- ws.epoch + 1;
+  ws.tick <- ws.tick + 1;
+  let epoch = ws.epoch in
+  let off = Graph.csr_off g and adj = Graph.csr_adj g in
+  let seen = ws.seen and seen_stamp = ws.seen_stamp in
+  let touched = ws.touched and levels = ws.levels in
+  let q_cur = ref ws.q_cur and q_next = ref ws.q_next in
+  let front = ref ws.front and front_stamp = ref ws.front_stamp in
+  let nxt = ref ws.nxt and nxt_stamp = ref ws.nxt_stamp in
+  let mask = if len >= lanes then -1 else (1 lsl len) - 1 in
+  ws.n_touched <- 0;
+  ws.max_level <- 0;
+  ws.pairs <- 0;
+  ws.len <- len;
+  levels.(0) <- len;
+  (* Seed: lane [b] starts at [sources.(lo + b)]. Duplicate sources are
+     distinct lanes sharing a vertex, so the frontier queue dedups on the
+     front stamp while the words accumulate one bit per lane. *)
+  let tick = ref ws.tick in
+  let cur_n = ref 0 in
+  let scout = ref 0 in
+  let edges_rest = ref off.(n) in
+  for b = 0 to len - 1 do
+    let s = Array.unsafe_get sources (lo + b) in
+    let bit = 1 lsl b in
+    if Array.unsafe_get seen_stamp s <> epoch then begin
+      Array.unsafe_set seen_stamp s epoch;
+      Array.unsafe_set seen s bit;
+      Array.unsafe_set touched ws.n_touched s;
+      ws.n_touched <- ws.n_touched + 1;
+      let deg = Array.unsafe_get off (s + 1) - Array.unsafe_get off s in
+      edges_rest := !edges_rest - deg;
+      scout := !scout + deg
+    end
+    else Array.unsafe_set seen s (Array.unsafe_get seen s lor bit);
+    if Array.unsafe_get !front_stamp s <> !tick then begin
+      Array.unsafe_set !front_stamp s !tick;
+      Array.unsafe_set !front s bit;
+      Array.unsafe_set !q_cur !cur_n s;
+      cur_n := !cur_n + 1
+    end
+    else Array.unsafe_set !front s (Array.unsafe_get !front s lor bit)
+  done;
+  ws.front_tick <- !tick;
+  let bottom_up = ref false in
+  let d = ref 0 in
+  let tr0 = Obs.Trace.enter () in
+  let sweeps_td = ref 0 and sweeps_bu = ref 0 in
+  let words_touched = ref 0 and bits_front = ref 0 in
+  (* Loop scratch, hoisted: the sweep body allocates nothing per level,
+     per frontier word, or per arc. *)
+  let next_n = ref 0 and next_scout = ref 0 and pc = ref 0 in
+  let probe = ref 0 and acc = ref 0 in
+  while !cur_n > 0 && !d < max_depth do
+    if !bottom_up then begin
+      if !cur_n * beta < n then bottom_up := false
+    end
+    else if !scout * alpha > !edges_rest then bottom_up := true;
+    if Obs.Control.enabled () then begin
+      if !bottom_up then incr sweeps_bu else incr sweeps_td;
+      words_touched := !words_touched + !cur_n;
+      bits_front := !bits_front + levels.(!d);
+      Obs.Metrics.observe h_frontier_words !cur_n;
+      Obs.Trace.sample (if !bottom_up then t_sweep_bu else t_sweep_td) !cur_n
+    end;
+    let dn = !d + 1 in
+    ws.tick <- ws.tick + 1;
+    tick := ws.tick;
+    next_n := 0;
+    next_scout := 0;
+    let fr = !front and fr_stamp = !front_stamp and fr_tick = ws.front_tick in
+    let nx = !nxt and nx_stamp = !nxt_stamp in
+    let nq = !q_next in
+    if !bottom_up then
+      (* Bottom-up: every vertex still missing bits ORs its neighbors'
+         frontier words until the missing bits are covered. With many
+         lanes the early exit fires less often than in the scalar
+         engine, but on exploding levels the frontier holds almost every
+         vertex and one sequential pass still beats expanding it. *)
+      for v = 0 to n - 1 do
+        let sv =
+          if Array.unsafe_get seen_stamp v = epoch then Array.unsafe_get seen v
+          else 0
+        in
+        let miss = mask land lnot sv in
+        if miss <> 0 then begin
+          probe := Array.unsafe_get off v;
+          let hi = Array.unsafe_get off (v + 1) in
+          acc := 0;
+          while !probe < hi && miss land lnot !acc <> 0 do
+            let w = Array.unsafe_get adj !probe in
+            if Array.unsafe_get fr_stamp w = fr_tick then
+              acc := !acc lor Array.unsafe_get fr w;
+            incr probe
+          done;
+          let add = !acc land miss in
+          if add <> 0 then begin
+            if sv = 0 && Array.unsafe_get seen_stamp v <> epoch then begin
+              Array.unsafe_set seen_stamp v epoch;
+              Array.unsafe_set seen v add;
+              Array.unsafe_set touched ws.n_touched v;
+              ws.n_touched <- ws.n_touched + 1;
+              edges_rest :=
+                !edges_rest - (hi - Array.unsafe_get off v)
+            end
+            else Array.unsafe_set seen v (sv lor add);
+            Array.unsafe_set nx_stamp v !tick;
+            Array.unsafe_set nx v add;
+            Array.unsafe_set nq !next_n v;
+            next_n := !next_n + 1;
+            next_scout := !next_scout + (hi - Array.unsafe_get off v)
+          end
+        end
+      done
+    else begin
+      let q = !q_cur in
+      for i = 0 to !cur_n - 1 do
+        let u = Array.unsafe_get q i in
+        let fu = Array.unsafe_get fr u in
+        let jlo = Array.unsafe_get off u and jhi = Array.unsafe_get off (u + 1) in
+        for j = jlo to jhi - 1 do
+          let v = Array.unsafe_get adj j in
+          let sv =
+            if Array.unsafe_get seen_stamp v = epoch then
+              Array.unsafe_get seen v
+            else 0
+          in
+          let add = fu land lnot sv in
+          if add <> 0 then begin
+            if sv = 0 && Array.unsafe_get seen_stamp v <> epoch then begin
+              Array.unsafe_set seen_stamp v epoch;
+              Array.unsafe_set seen v add;
+              Array.unsafe_set touched ws.n_touched v;
+              ws.n_touched <- ws.n_touched + 1;
+              edges_rest :=
+                !edges_rest
+                - (Array.unsafe_get off (v + 1) - Array.unsafe_get off v)
+            end
+            else Array.unsafe_set seen v (sv lor add);
+            if Array.unsafe_get nx_stamp v <> !tick then begin
+              Array.unsafe_set nx_stamp v !tick;
+              Array.unsafe_set nx v add;
+              Array.unsafe_set nq !next_n v;
+              next_n := !next_n + 1;
+              next_scout :=
+                !next_scout
+                + (Array.unsafe_get off (v + 1) - Array.unsafe_get off v)
+            end
+            else Array.unsafe_set nx v (Array.unsafe_get nx v lor add)
+          end
+        done
+      done
+    end;
+    (* Per-level pair count: one popcount per vertex that gained bits —
+       [nx] holds exactly the first-arrival bits of this level. *)
+    pc := 0;
+    for i = 0 to !next_n - 1 do
+      pc := !pc + Bitset.popcount (Array.unsafe_get nx (Array.unsafe_get nq i))
+    done;
+    if !next_n > 0 then begin
+      ws.max_level <- dn;
+      levels.(dn) <- !pc;
+      ws.pairs <- ws.pairs + !pc
+    end;
+    (* Swap frontier and next (words, stamps, queues) for the next level. *)
+    let tmpw = !front in
+    front := !nxt;
+    nxt := tmpw;
+    let tmps = !front_stamp in
+    front_stamp := !nxt_stamp;
+    nxt_stamp := tmps;
+    let tmpq = !q_cur in
+    q_cur := !q_next;
+    q_next := tmpq;
+    ws.front_tick <- !tick;
+    cur_n := !next_n;
+    scout := !next_scout;
+    d := dn
+  done;
+  ws.front <- !front;
+  ws.front_stamp <- !front_stamp;
+  ws.nxt <- !nxt;
+  ws.nxt_stamp <- !nxt_stamp;
+  ws.q_cur <- !q_cur;
+  ws.q_next <- !q_next;
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.incr m_batches;
+    Obs.Metrics.add m_lanes len;
+    Obs.Metrics.add m_sweeps (!sweeps_td + !sweeps_bu);
+    Obs.Metrics.add m_sweeps_td !sweeps_td;
+    Obs.Metrics.add m_sweeps_bu !sweeps_bu;
+    Obs.Metrics.add m_active_words !words_touched;
+    Obs.Metrics.add m_frontier_bits !bits_front;
+    Obs.Metrics.add m_settled_pairs ws.pairs
+  end;
+  Obs.Trace.leave t_run tr0
+
+let batch_lanes ws = ws.len
+let max_level ws = ws.max_level
+let reached_pairs ws = ws.pairs
+
+let level_pairs ws d =
+  if d < 0 || d > ws.max_level then
+    invalid_arg "Msbfs.level_pairs: level out of range";
+  ws.levels.(d)
+
+let settled_bits ws v =
+  if v < 0 || v >= ws.cap then
+    invalid_arg "Msbfs.settled_bits: vertex out of range";
+  if ws.seen_stamp.(v) = ws.epoch then ws.seen.(v) else 0
+
+let lane_counts_into ws ~keep out =
+  if Array.length out < ws.len then
+    invalid_arg "Msbfs.lane_counts_into: output shorter than the batch";
+  Array.fill out 0 ws.len 0;
+  let seen = ws.seen and touched = ws.touched in
+  for i = 0 to ws.n_touched - 1 do
+    let v = Array.unsafe_get touched i in
+    if keep v then begin
+      (* Lowest-set-bit extraction over the settled word: cost is one
+         step per (lane, vertex) pair actually settled. *)
+      let w = ref (Array.unsafe_get seen v) in
+      while !w <> 0 do
+        let low = !w land - !w in
+        let b = Bitset.popcount (low - 1) in
+        Array.unsafe_set out b (Array.unsafe_get out b + 1);
+        w := !w land (!w - 1)
+      done
+    end
+  done

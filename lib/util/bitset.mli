@@ -49,3 +49,28 @@ val inter_cardinal : t -> t -> int
 (** Size of the intersection; capacities must match. *)
 
 val equal : t -> t -> bool
+
+(** {1 Word-level access}
+
+    The packed representation itself, for word-parallel kernels (the
+    MS-BFS engine packs one BFS lane per bit and advances all of them
+    with word ops) and for counting without per-bit loops. *)
+
+val bits_per_word : int
+(** Bits packed per word: 63 (OCaml native ints). Member [i] lives in
+    word [i / bits_per_word] at bit [i mod bits_per_word]. *)
+
+val popcount : int -> int
+(** Set bits in one word, over the full 63-bit pattern (sign bit
+    included — [popcount (-1) = 63]). Branch-free SWAR, constant time;
+    the building block of every per-level tally in the MS-BFS engine. *)
+
+val num_words : t -> int
+(** Words backing the set ([capacity]-derived, never 0). *)
+
+val word : t -> int -> int
+(** [word t w]: the [w]-th packed word.
+    @raise Invalid_argument outside [0 .. num_words t - 1]. *)
+
+val unsafe_word : t -> int -> int
+(** {!word} without the bounds check; same contract as {!unsafe_mem}. *)

@@ -163,6 +163,54 @@ let bitset_qcheck =
          Bitset.to_list s = reference
          && Bitset.cardinal s = List.length reference))
 
+(* One add/test per bit position: the branch-free SWAR popcount against
+   the obvious shift-and-mask loop, over full-width patterns. *)
+let naive_popcount x =
+  let c = ref 0 in
+  for b = 0 to Bitset.bits_per_word - 1 do
+    if (x lsr b) land 1 = 1 then incr c
+  done;
+  !c
+
+let test_popcount_edges () =
+  check_int "popcount 0" 0 (Bitset.popcount 0);
+  check_int "popcount 1" 1 (Bitset.popcount 1);
+  check_int "popcount -1 (all 63 bits)" 63 (Bitset.popcount (-1));
+  check_int "popcount max_int" 62 (Bitset.popcount max_int);
+  check_int "popcount min_int" 1 (Bitset.popcount min_int);
+  check_int "popcount top bit" 1 (Bitset.popcount (1 lsl 62));
+  check_int "alternating 0101" (naive_popcount 0x1555555555555555)
+    (Bitset.popcount 0x1555555555555555)
+
+let popcount_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:500 ~name:"SWAR popcount = naive bit loop"
+       QCheck.(triple int int int)
+       (fun (a, b, c) ->
+         (* Mix the generator's ints into denser full-width patterns. *)
+         let xs = [ a; b; c; a lxor b; a lor (b lsl 13); a land c; lnot b ] in
+         List.for_all (fun x -> Bitset.popcount x = naive_popcount x) xs))
+
+let test_word_accessors () =
+  let s = Bitset.of_list 200 [ 0; 62; 63; 126 ] in
+  (* ceil(200/63) = 4 payload words plus the trailing sentinel word. *)
+  check_int "num_words" 5 (Bitset.num_words s);
+  check_int "word 0 = bits 0 and 62" ((1 lsl 62) lor 1) (Bitset.word s 0);
+  check_int "word 1 = bit 63 at offset 0" 1 (Bitset.word s 1);
+  check_int "word 2 = bit 126 at offset 0" 1 (Bitset.word s 2);
+  check_int "word 3 empty" 0 (Bitset.word s 3);
+  check_int "unsafe_word agrees" (Bitset.word s 1) (Bitset.unsafe_word s 1);
+  check_int "cardinal = sum of word popcounts"
+    (Bitset.cardinal s)
+    (let acc = ref 0 in
+     for w = 0 to Bitset.num_words s - 1 do
+       acc := !acc + Bitset.popcount (Bitset.word s w)
+     done;
+     !acc);
+  Alcotest.check_raises "word index out of bounds"
+    (Invalid_argument "Bitset.word: word index out of bounds") (fun () ->
+      ignore (Bitset.word s 5))
+
 (* ---------- Heap ---------- *)
 
 let test_heap_sorts_min () =
@@ -487,6 +535,9 @@ let suite =
         Alcotest.test_case "bounds check" `Quick test_bitset_bounds;
         Alcotest.test_case "clear/copy" `Quick test_bitset_clear_copy;
         bitset_qcheck;
+        Alcotest.test_case "popcount edge patterns" `Quick test_popcount_edges;
+        popcount_qcheck;
+        Alcotest.test_case "word-level accessors" `Quick test_word_accessors;
       ] );
     ( "util.heap",
       [
