@@ -89,6 +89,71 @@ let connectivity_pair ctx =
                 srcs)));
   ]
 
+(* Dynamic-topology kernels: overlay mutation, compaction back to CSR,
+   and the headline incremental-vs-rebuild re-convergence pair. The burst
+   is ~1% of the edges (the small-burst regime X9 targets); the
+   incremental arm alternates the burst with its inverse so every
+   iteration applies exactly one burst from a warm tracker, directly
+   comparable to one full rebuild. *)
+let dynamic_pair ctx =
+  let open Bechamel in
+  let module Delta = Broker_graph.Delta in
+  let module Incr = Broker_core.Incremental in
+  let module Stream = Broker_sim.Topo_stream in
+  let g, is_broker, srcs = connectivity_setup ctx in
+  let burst = max 1 (Broker_graph.Graph.m g / 100) in
+  let ops =
+    Stream.burst ~rng:(Broker_util.Xrandom.create 23) g ~size:burst
+  in
+  let apply_to d =
+    Array.iter
+      (fun op ->
+        ignore
+          (match op with
+          | Stream.Announce (u, v) -> Delta.add_edge d u v
+          | Stream.Withdraw (u, v) -> Delta.remove_edge d u v))
+      ops
+  in
+  let fwd =
+    Array.map
+      (function
+        | Stream.Announce (u, v) -> Incr.Add (u, v)
+        | Stream.Withdraw (u, v) -> Incr.Remove (u, v))
+      ops
+  in
+  let undo =
+    Array.map
+      (function
+        | Incr.Add (u, v) -> Incr.Remove (u, v)
+        | Incr.Remove (u, v) -> Incr.Add (u, v))
+      fwd
+  in
+  let dirty = Delta.create g in
+  apply_to dirty;
+  let tracker = Incr.create g ~is_broker ~sources:srcs in
+  let flip = ref false in
+  [
+    Test.make ~name:"delta_apply"
+      (Staged.stage (fun () ->
+           let d = Delta.create g in
+           apply_to d));
+    Test.make ~name:"delta_compact"
+      (Staged.stage (fun () -> ignore (Delta.compact g dirty)));
+    Test.make ~name:"reconverge/incremental"
+      (Staged.stage (fun () ->
+           let b = if !flip then undo else fwd in
+           flip := not !flip;
+           ignore (Incr.apply tracker b)));
+    Test.make ~name:"reconverge/rebuild"
+      (Staged.stage (fun () ->
+           let d = Delta.create g in
+           apply_to d;
+           let g' = Delta.compact g d in
+           ignore
+             (Broker_core.Connectivity.eval_sources ~l_max:10 g' ~is_broker
+                srcs)));
+  ]
+
 let kernel_tests () =
   let open Bechamel in
   let ctx = E.Ctx.create ~scale:0.05 ~sources:32 ~seed:11 () in
@@ -122,6 +187,7 @@ let kernel_tests () =
       (Staged.stage (fun () -> ignore (Broker_core.Maxsg.run g ~k:100)));
   ]
   @ connectivity_pair ctx
+  @ dynamic_pair ctx
 
 let chaos_tests () =
   let open Bechamel in
@@ -345,6 +411,10 @@ let fullscale_msbfs_speedup stats =
   pair_speedup stats ~legacy:"connectivity_fullscale/projected"
     ~projected:"connectivity_fullscale/msbfs"
 
+let reconverge_speedup stats =
+  pair_speedup stats ~legacy:"reconverge/rebuild"
+    ~projected:"reconverge/incremental"
+
 let write_json ~path ?(counters = []) suites =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\n";
@@ -383,6 +453,7 @@ let write_json ~path ?(counters = []) suites =
         ("msbfs_vs_projected", msbfs_speedup all_stats);
         ("connectivity_fullscale_speedup", fullscale_speedup all_stats);
         ("msbfs_vs_projected_fullscale", fullscale_msbfs_speedup all_stats);
+        ("incremental_vs_rebuild", reconverge_speedup all_stats);
       ]
   in
   Buffer.add_string buf "  \"derived\": {";
@@ -525,16 +596,23 @@ let run_timings ~json ~fullscale () =
   | Some s ->
       Printf.printf "connectivity full-scale msbfs vs projected: %.2fx\n" s
   | None -> ());
+  (match reconverge_speedup all_stats with
+  | Some s -> Printf.printf "reconverge incremental vs rebuild: %.2fx\n" s
+  | None -> ());
   match json with
   | Some path -> write_json ~path ~counters:(counter_snapshot ()) suites
   | None -> ()
 
-(* CI perf gate: time only the connectivity kernel trio at small scale and
-   fail unless (a) the projected engine beats the legacy path and (b) the
-   bit-parallel MS-BFS engine beats the scalar projected one. *)
+(* CI perf gate: time the connectivity kernel trio and the dynamic
+   re-convergence pair at small scale and fail unless (a) the projected
+   engine beats the legacy path, (b) the bit-parallel MS-BFS engine beats
+   the scalar projected one, and (c) the incremental tracker beats a full
+   compact-and-re-evaluate rebuild for a small (~1% of edges) burst. *)
 let perf_smoke ~json () =
   let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:11 () in
-  let stats = run_suite ~quota:1.0 "kernels" (connectivity_pair ctx) in
+  let stats =
+    run_suite ~quota:1.0 "kernels" (connectivity_pair ctx @ dynamic_pair ctx)
+  in
   print_suite "kernels (perf smoke)" stats;
   (match json with
   | Some path ->
@@ -549,7 +627,7 @@ let perf_smoke ~json () =
   | None ->
       prerr_endline "perf-smoke FAIL: connectivity kernels missing";
       exit 1);
-  match msbfs_speedup stats with
+  (match msbfs_speedup stats with
   | Some s when s > 1.0 ->
       Printf.printf "perf-smoke OK: msbfs engine is %.2fx faster than projected\n"
         s
@@ -559,6 +637,20 @@ let perf_smoke ~json () =
       exit 1
   | None ->
       prerr_endline "perf-smoke FAIL: msbfs connectivity kernel missing";
+      exit 1);
+  match reconverge_speedup stats with
+  | Some s when s > 1.0 ->
+      Printf.printf
+        "perf-smoke OK: incremental re-convergence is %.2fx faster than rebuild\n"
+        s
+  | Some s ->
+      Printf.printf
+        "perf-smoke FAIL: incremental re-convergence is not faster than \
+         rebuild (%.2fx)\n"
+        s;
+      exit 1
+  | None ->
+      prerr_endline "perf-smoke FAIL: reconverge kernels missing";
       exit 1
 
 let () =

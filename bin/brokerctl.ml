@@ -177,7 +177,8 @@ let export_dot_cmd =
 
 (* simulate *)
 let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
-    mttr scenario no_failover retries cache_strategy vnodes =
+    mttr scenario no_failover retries cache_strategy vnodes topo_updates
+    topo_propagation topo_delay topo_per_hop topo_at =
   let cache =
     match Broker_sim.Shard_cache.strategy_of_string ~vnodes cache_strategy with
     | Ok s -> s
@@ -228,8 +229,39 @@ let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
               chaos_seed = seed;
             }
       in
+      let topo_churn =
+        if topo_updates <= 0 then None
+        else begin
+          let horizon =
+            if Array.length sessions = 0 then 0.0
+            else sessions.(Array.length sessions - 1).Broker_sim.Workload.arrival
+          in
+          let ops =
+            Broker_sim.Topo_stream.burst
+              ~rng:(Broker_util.Xrandom.create (seed + 2))
+              g ~size:topo_updates
+          in
+          let time = topo_at *. horizon in
+          let propagation =
+            match topo_propagation with
+            | "centralized" ->
+                Broker_sim.Topo_stream.Centralized { delay = topo_delay }
+            | "bgp" ->
+                Broker_sim.Topo_stream.Bgp_like
+                  { base = topo_delay; per_hop = topo_per_hop }
+            | _ -> assert false
+          in
+          Some
+            {
+              Broker_sim.Simulator.updates =
+                Array.map (fun op -> { Broker_sim.Topo_stream.time; op }) ops;
+              propagation;
+            }
+        end
+      in
       let s =
-        Broker_sim.Simulator.run ?chaos ~cache topo ~brokers ~sessions config
+        Broker_sim.Simulator.run ?chaos ?topo:topo_churn ~cache topo ~brokers
+          ~sessions config
       in
       Printf.printf "offered             %d\n" s.Broker_sim.Simulator.offered;
       Printf.printf "admitted            %d (%.2f%%)\n" s.Broker_sim.Simulator.admitted
@@ -256,6 +288,13 @@ let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
           s.Broker_sim.Simulator.revenue_lost;
         Printf.printf "availability        %.2f%%\n"
           (100.0 *. s.Broker_sim.Simulator.availability)
+      end;
+      if topo_updates > 0 then begin
+        Printf.printf "topo propagation    %s\n" topo_propagation;
+        Printf.printf "topo applied        %d\n"
+          s.Broker_sim.Simulator.topo_applied;
+        Printf.printf "topo ignored        %d\n"
+          s.Broker_sim.Simulator.topo_ignored
       end;
       let c = s.Broker_sim.Simulator.cache in
       Printf.printf "cache strategy      %s\n"
@@ -319,12 +358,50 @@ let simulate_cmd =
       & opt int Broker_sim.Shard_cache.default_vnodes
       & info [ "vnodes" ] ~doc:"Virtual nodes per broker shard (ring strategy).")
   in
+  let topo_updates =
+    Arg.(
+      value & opt int 0
+      & info [ "topo-updates" ]
+          ~doc:
+            "Inject a burst of this many announce/withdraw topology updates \
+             (0 disables streaming updates).")
+  in
+  let topo_propagation =
+    let alts = [ "centralized"; "bgp" ] in
+    Arg.(
+      value
+      & opt (enum (List.map (fun a -> (a, a)) alts)) "centralized"
+      & info [ "topo-propagation" ]
+          ~doc:
+            "Update propagation model: centralized (constant delay) or bgp \
+             (base + per-hop crawl to the nearest broker).")
+  in
+  let topo_delay =
+    Arg.(
+      value & opt float 5.0
+      & info [ "topo-delay" ]
+          ~doc:"Centralized delivery delay, or the bgp base delay.")
+  in
+  let topo_per_hop =
+    Arg.(
+      value & opt float 1.0
+      & info [ "topo-per-hop" ] ~doc:"Per-hop delay of the bgp model.")
+  in
+  let topo_at =
+    Arg.(
+      value & opt float 0.5
+      & info [ "topo-at" ]
+          ~doc:
+            "Burst origin time as a fraction of the arrival horizon \
+             (default 0.5).")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Flow-level brokerage simulation with admission control")
     Term.(
       const simulate $ topo_arg $ brokers $ sessions $ factor $ seed_arg
       $ chaos $ mtbf $ mttr $ scenario $ no_failover $ retries
-      $ cache_strategy $ vnodes)
+      $ cache_strategy $ vnodes $ topo_updates $ topo_propagation
+      $ topo_delay $ topo_per_hop $ topo_at)
 
 (* resilience *)
 let resilience path brokers_path sources seed =

@@ -30,15 +30,24 @@ let merge_acc x y =
   x.total <- x.total + y.total;
   x
 
-let curve_of_acc ~l_max a =
-  let ftotal = float_of_int (max 1 a.total) in
+(* The one place integer tallies become a curve: every evaluator —
+   generic, scalar, MS-BFS and the incremental tracker — must funnel
+   through this exact float arithmetic so their curves can be compared
+   bitwise. *)
+let curve_of_counts ~l_max ~hist ~reached ~total =
+  if Array.length hist < l_max + 1 then
+    invalid_arg "Connectivity.curve_of_counts: histogram shorter than l_max";
+  let ftotal = float_of_int (max 1 total) in
   let per_hop = Array.make (l_max + 1) 0.0 in
   let acc = ref 0 in
   for l = 1 to l_max do
-    acc := !acc + a.hist.(l);
+    acc := !acc + hist.(l);
     per_hop.(l) <- float_of_int !acc /. ftotal
   done;
-  { l_max; per_hop; saturated = float_of_int a.reached /. ftotal }
+  { l_max; per_hop; saturated = float_of_int reached /. ftotal }
+
+let curve_of_acc ~l_max a =
+  curve_of_counts ~l_max ~hist:a.hist ~reached:a.reached ~total:a.total
 
 (* Reference implementation: one predicate-filtered BFS per source, a fresh
    distance array each, contiguous chunking. This is the slow generic path

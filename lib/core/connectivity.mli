@@ -99,3 +99,13 @@ val eval_sources_reference :
 val edge_ok : is_broker:(int -> bool) -> int -> int -> bool
 (** The dominated-edge predicate itself, for composing with other
     traversals. *)
+
+val curve_of_counts :
+  l_max:int -> hist:int array -> reached:int -> total:int -> curve
+(** Fold integer tallies into a {!curve}: [hist.(l)] pairs first reached
+    at hop [l] (index 0 unused), [reached] pairs reached at any depth,
+    [total] ordered pairs considered. This is the single float-math
+    path every evaluator shares — external incremental evaluators (see
+    [Incremental]) use it so their curves are bitwise-comparable to
+    {!eval_sources}. @raise Invalid_argument when [hist] is shorter
+    than [l_max + 1]. *)

@@ -7,9 +7,9 @@ let is_dominated_path ~is_broker path =
   in
   check path
 
-let find_dominated_path g ~is_broker u v =
+let find_dominated_path_view vw ~is_broker u v =
   let edge_ok = Connectivity.edge_ok ~is_broker in
-  let n = G.n g in
+  let n = Broker_graph.View.n vw in
   let parent = Array.make n (-1) in
   let seen = Array.make n false in
   let queue = Array.make n 0 in
@@ -20,7 +20,7 @@ let find_dominated_path g ~is_broker u v =
   while !head < !tail && not seen.(v) do
     let x = queue.(!head) in
     incr head;
-    G.iter_neighbors g x (fun y ->
+    Broker_graph.View.iter_neighbors vw x (fun y ->
         if (not seen.(y)) && edge_ok x y then begin
           seen.(y) <- true;
           parent.(y) <- x;
@@ -33,6 +33,9 @@ let find_dominated_path g ~is_broker u v =
     let rec walk x acc = if x = u then u :: acc else walk parent.(x) (x :: acc) in
     walk v []
   end
+
+let find_dominated_path g ~is_broker u v =
+  find_dominated_path_view (Broker_graph.View.of_graph g) ~is_broker u v
 
 type broker_only = {
   broker_only_pairs : float;

@@ -11,6 +11,12 @@ val find_dominated_path :
 (** Shortest B-dominated path between the endpoints, [[]] when none
     exists. *)
 
+val find_dominated_path_view :
+  Broker_graph.View.t -> is_broker:(int -> bool) -> int -> int -> int list
+(** {!find_dominated_path} over a {!Broker_graph.View.t}, so the
+    simulator can route against a live {!Broker_graph.Delta} overlay
+    without compacting after every topology update. *)
+
 type broker_only = {
   broker_only_pairs : float;
       (** fraction of all ordered pairs connected through broker-internal

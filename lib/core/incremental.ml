@@ -1,0 +1,270 @@
+module G = Broker_graph.Graph
+module View = Broker_graph.View
+module Delta = Broker_graph.Delta
+module Msbfs = Broker_graph.Msbfs
+module Obs = Broker_obs
+
+(* Dirty-region probes: commutative int counters over deterministically
+   composed batches, diffable run-to-run like the msbfs.* family. *)
+let m_applies = Obs.Metrics.counter "incr.applies"
+let m_ops_applied = Obs.Metrics.counter "incr.ops.applied"
+let m_ops_noop = Obs.Metrics.counter "incr.ops.noop"
+let m_ops_ignored = Obs.Metrics.counter "incr.ops.ignored"
+let m_batches_reeval = Obs.Metrics.counter "incr.batches.reevaluated"
+let m_batches_skipped = Obs.Metrics.counter "incr.batches.skipped"
+let m_sources_affected = Obs.Metrics.counter "incr.sources.affected"
+
+type op = Add of int * int | Remove of int * int
+
+type stats = {
+  applied : int;
+  noops : int;
+  ignored : int;
+  sources_affected : int;
+  batches_reevaluated : int;
+  batches_total : int;
+}
+
+let lanes = Msbfs.lanes
+
+(* The tracker maintains the dominated-connectivity curve of an evolving
+   topology. Only dominated edges (a broker endpoint) survive the
+   projection the evaluators run on, so the tracker keeps a {!Delta}
+   over the *projected* base graph, applies exactly the dominated subset
+   of each update burst to it, and caches the MS-BFS tallies of every
+   source batch. After a burst, a batch is re-swept only when one of its
+   sources can reach a touched endpoint — in the old or the new edge
+   set — because an undirected distance can only change when its
+   shortest path crosses a changed edge. Everything cached is an integer
+   count keyed by batch id, so totals are REPRO_DOMAINS-independent and
+   the final curve goes through {!Connectivity.curve_of_counts}, bitwise
+   identical to a from-scratch {!Connectivity.eval_sources}. *)
+type t = {
+  n : int;  (* vertex count of the original graph *)
+  l_max : int;
+  is_broker : int -> bool;
+  sources : int array;
+  nbatch : int;
+  pdelta : Delta.t;  (* overlay over the projected base *)
+  mutable cur_view : View.t;  (* snapshot of pdelta's current state *)
+  hists : int array array;  (* per-batch first-arrival pair counts *)
+  reached : int array;  (* per-batch pairs settled at depth >= 1 *)
+  mutable last : stats;
+}
+
+let no_stats =
+  {
+    applied = 0;
+    noops = 0;
+    ignored = 0;
+    sources_affected = 0;
+    batches_reevaluated = 0;
+    batches_total = 0;
+  }
+
+(* Re-sweep the batches listed in [ids] against [vw] and overwrite their
+   cache rows. Workers only read shared state and return rows keyed by
+   batch id (merged by list append), so the strided split passes C1
+   domain-safety and the written caches are split-independent. *)
+let reeval t vw ids =
+  let sources = t.sources and l_max = t.l_max in
+  let nsrc = Array.length sources in
+  let nids = Array.length ids in
+  let worker ~start ~step =
+    let ws = Msbfs.workspace () in
+    let rows = ref [] in
+    let i = ref start in
+    while !i < nids do
+      let b = ids.(!i) in
+      let lo = b * lanes in
+      let len = min lanes (nsrc - lo) in
+      Msbfs.run_view ws vw sources ~lo ~len;
+      let hist = Array.make (l_max + 1) 0 in
+      let reached = ref 0 in
+      for d = 1 to Msbfs.max_level ws do
+        let c = Msbfs.level_pairs ws d in
+        reached := !reached + c;
+        if d <= l_max then hist.(d) <- hist.(d) + c
+      done;
+      rows := (b, hist, !reached) :: !rows;
+      i := !i + step
+    done;
+    !rows
+  in
+  let rows =
+    Broker_util.Parallel.strided ~n:nids ~worker
+      ~merge:(fun a b -> List.rev_append b a)
+      []
+  in
+  List.iter
+    (fun (b, hist, reached) ->
+      t.hists.(b) <- hist;
+      t.reached.(b) <- reached)
+    rows
+
+let create ?(l_max = 10) g ~is_broker ~sources =
+  let n = G.n g in
+  let sources = Array.copy sources in
+  let nsrc = Array.length sources in
+  let nbatch = (nsrc + lanes - 1) / lanes in
+  let pg = Broker_graph.Projected.graph (Broker_graph.Projected.project g ~is_broker) in
+  let pdelta = Delta.create pg in
+  let t =
+    {
+      n;
+      l_max;
+      is_broker;
+      sources;
+      nbatch;
+      pdelta;
+      cur_view = View.of_graph pg;
+      hists = Array.init nbatch (fun _ -> Array.make (l_max + 1) 0);
+      reached = Array.make nbatch 0;
+      last = no_stats;
+    }
+  in
+  reeval t t.cur_view (Array.init nbatch (fun b -> b));
+  t
+
+let l_max t = t.l_max
+let batches t = t.nbatch
+let last_stats t = t.last
+
+(* Vertices reachable from any seed, marked into [out] — the plain
+   multi-source BFS behind the dirty-region bound. *)
+let mark_reachable vw seeds out =
+  let n = View.n vw in
+  let queue = Array.make (max n 1) 0 in
+  let head = ref 0 and tail = ref 0 in
+  List.iter
+    (fun s ->
+      if not out.(s) then begin
+        out.(s) <- true;
+        queue.(!tail) <- s;
+        incr tail
+      end)
+    seeds;
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    View.iter_neighbors vw u (fun v ->
+        if not out.(v) then begin
+          out.(v) <- true;
+          queue.(!tail) <- v;
+          incr tail
+        end)
+  done
+
+let apply t ops =
+  let applied = ref 0 and noops = ref 0 and ignored = ref 0 in
+  let touched = ref [] in
+  Array.iter
+    (fun op ->
+      let u, v, add =
+        match op with Add (u, v) -> (u, v, true) | Remove (u, v) -> (u, v, false)
+      in
+      if not (Connectivity.edge_ok ~is_broker:t.is_broker u v) then
+        (* No broker endpoint: the edge never enters the dominated
+           projection, so the curve cannot depend on it. *)
+        incr ignored
+      else begin
+        let changed =
+          if add then Delta.add_edge t.pdelta u v
+          else Delta.remove_edge t.pdelta u v
+        in
+        if changed then begin
+          incr applied;
+          touched := u :: v :: !touched
+        end
+        else incr noops
+      end)
+    ops;
+  Obs.Metrics.incr m_applies;
+  Obs.Metrics.add m_ops_applied !applied;
+  Obs.Metrics.add m_ops_noop !noops;
+  Obs.Metrics.add m_ops_ignored !ignored;
+  if !applied = 0 then begin
+    t.last <-
+      {
+        applied = 0;
+        noops = !noops;
+        ignored = !ignored;
+        sources_affected = 0;
+        batches_reevaluated = 0;
+        batches_total = t.nbatch;
+      };
+    Obs.Metrics.add m_batches_skipped t.nbatch;
+    t.last
+  end
+  else begin
+    let old_view = t.cur_view in
+    let new_view = Delta.view t.pdelta in
+    t.cur_view <- new_view;
+    (* A source's distance vector can only change when its shortest path
+       crosses a changed edge, i.e. when it reaches a touched endpoint
+       in the old edge set (withdrawn path) or the new one (announced
+       path). Mark both reachable regions and re-sweep exactly the
+       batches owning a marked source. *)
+    let pn = View.n new_view in
+    let mark_old = Array.make pn false in
+    let mark_new = Array.make pn false in
+    mark_reachable old_view !touched mark_old;
+    mark_reachable new_view !touched mark_new;
+    let nsrc = Array.length t.sources in
+    let affected_sources = ref 0 in
+    let ids = ref [] and nids = ref 0 in
+    for b = t.nbatch - 1 downto 0 do
+      let lo = b * lanes in
+      let hi = min (lo + lanes) nsrc in
+      let hit = ref false in
+      for i = lo to hi - 1 do
+        let s = t.sources.(i) in
+        if mark_old.(s) || mark_new.(s) then begin
+          incr affected_sources;
+          hit := true
+        end
+      done;
+      if !hit then begin
+        ids := b :: !ids;
+        incr nids
+      end
+    done;
+    let ids = Array.of_list !ids in
+    reeval t new_view ids;
+    Obs.Metrics.add m_batches_reeval !nids;
+    Obs.Metrics.add m_batches_skipped (t.nbatch - !nids);
+    Obs.Metrics.add m_sources_affected !affected_sources;
+    t.last <-
+      {
+        applied = !applied;
+        noops = !noops;
+        ignored = !ignored;
+        sources_affected = !affected_sources;
+        batches_reevaluated = !nids;
+        batches_total = t.nbatch;
+      };
+    t.last
+  end
+
+let curve t =
+  if t.n < 2 then
+    {
+      Connectivity.l_max = t.l_max;
+      per_hop = Array.make (t.l_max + 1) 0.0;
+      saturated = 0.0;
+    }
+  else begin
+    let hist = Array.make (t.l_max + 1) 0 in
+    let reached = ref 0 in
+    for b = 0 to t.nbatch - 1 do
+      let h = t.hists.(b) in
+      for l = 1 to t.l_max do
+        hist.(l) <- hist.(l) + h.(l)
+      done;
+      reached := !reached + t.reached.(b)
+    done;
+    Connectivity.curve_of_counts ~l_max:t.l_max ~hist ~reached:!reached
+      ~total:(Array.length t.sources * (t.n - 1))
+  end
+
+let saturated t = (curve t).Connectivity.saturated

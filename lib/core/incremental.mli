@@ -1,0 +1,66 @@
+(** Incremental dominated-connectivity under streaming topology updates.
+
+    A tracker holds the l-hop connectivity curve of an evolving
+    topology for a fixed broker set and source sample. Updates are
+    applied as announce/withdraw operations; only the dominated subset
+    (a broker endpoint) enters the projected overlay the evaluators
+    sweep, and after each burst the tracker re-runs MS-BFS only for the
+    source batches whose reachable set can have changed: a source is
+    *affected* when it reaches an endpoint of a changed edge in the old
+    or the new edge set (an undirected distance can only change when its
+    shortest path crosses a changed edge). Unaffected batches keep
+    their cached integer tallies.
+
+    Equivalence guarantee: {!curve} is bitwise identical to running
+    {!Connectivity.eval_sources} from scratch on the compacted updated
+    graph with the same [l_max], broker set and source array — both
+    paths produce the same per-batch integer counts and share
+    {!Connectivity.curve_of_counts} — for any [REPRO_DOMAINS].
+
+    Single-writer: {!apply} is not domain-safe (re-sweeps parallelize
+    internally over read-only snapshots). *)
+
+type t
+
+type op =
+  | Add of int * int  (** announce edge [(u, v)] *)
+  | Remove of int * int  (** withdraw edge [(u, v)] *)
+
+type stats = {
+  applied : int;  (** ops that changed the dominated edge set *)
+  noops : int;  (** dominated ops that were already satisfied *)
+  ignored : int;  (** ops with no broker endpoint (outside the projection) *)
+  sources_affected : int;  (** sources whose reachable set may have changed *)
+  batches_reevaluated : int;
+  batches_total : int;
+}
+
+val create :
+  ?l_max:int ->
+  Broker_graph.Graph.t ->
+  is_broker:(int -> bool) ->
+  sources:int array ->
+  t
+(** Project the base graph, cache every batch's tallies (full initial
+    evaluation). [l_max] defaults to 10 as in
+    {!Connectivity.eval_sources}. The source array is copied. *)
+
+val apply : t -> op array -> stats
+(** Apply an update burst and re-sweep the affected batches. Returns the
+    burst's statistics (also readable via {!last_stats}).
+    @raise Invalid_argument when an endpoint is out of range. *)
+
+val curve : t -> Connectivity.curve
+(** Current connectivity curve, bitwise identical to a from-scratch
+    {!Connectivity.eval_sources} on the updated topology. *)
+
+val saturated : t -> float
+(** [saturated] of {!curve}. *)
+
+val last_stats : t -> stats
+(** Statistics of the most recent {!apply} (zeros before the first). *)
+
+val l_max : t -> int
+
+val batches : t -> int
+(** Source batches tracked ([ceil (sources / Msbfs.lanes)]). *)

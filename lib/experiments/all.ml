@@ -40,6 +40,7 @@ let experiments =
     { id = "ext_chaos"; description = "fault injection, failover & availability"; artifact = "extension"; report = Ext_chaos.report };
     { id = "ext_regions"; description = "region-aware selection fairness"; artifact = "extension"; report = Extensions.regions };
     { id = "ext_churn_cache"; description = "path-cache strategies under broker churn"; artifact = "extension"; report = Ext_churn_cache.report };
+    { id = "ext_reconverge"; description = "dynamic topology & coverage re-convergence"; artifact = "extension"; report = Ext_reconverge.report };
   ]
 
 let find id =

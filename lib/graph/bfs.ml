@@ -178,14 +178,22 @@ let t_level_bu = Obs.Trace.scope "bfs.frontier.bottom_up"
 
 (* Degrees are read inline ([off.(v+1) - off.(v)]) rather than through a
    local [deg] helper: the body is checked [@brokercheck.noalloc] and a
-   helper capturing [off] would cost a closure block per run. *)
-let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) src =
-  let n = Graph.n g in
+   helper capturing [off] would cost a closure block per run.
+
+   The engine reads adjacency through a {!View.t}: per vertex, a flag
+   test selects the base CSR segment or the delta override segment (two
+   array reads and a branch — no closure, no dispatch). For base views
+   [ov] is false and the short-circuit keeps the static path's inner
+   loops identical to the historical CSR-only engine. *)
+let[@brokercheck.noalloc] run_view ws vw ?(max_depth = max_int) src =
+  let n = vw.View.n in
   if src < 0 || src >= n then invalid_arg "Bfs: source out of range";
   ensure ws n;
   ws.epoch <- ws.epoch + 1;
   let epoch = ws.epoch in
-  let off = Graph.csr_off g and adj = Graph.csr_adj g in
+  let off = vw.View.off and adj = vw.View.adj in
+  let ov = vw.View.overlaid in
+  let dirty = vw.View.dirty and xoff = vw.View.xoff and xadj = vw.View.xadj in
   let stamp = ws.stamp and dist = ws.dist and levels = ws.levels in
   stamp.(src) <- epoch;
   dist.(src) <- 0;
@@ -195,10 +203,14 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) src =
   let q_cur = ref ws.q_cur and q_next = ref ws.q_next in
   !q_cur.(0) <- src;
   let cur_n = ref 1 in
-  let deg_src = Array.unsafe_get off (src + 1) - Array.unsafe_get off src in
+  let deg_src =
+    if ov && Array.unsafe_get dirty src then
+      Array.unsafe_get xoff (src + 1) - Array.unsafe_get xoff src
+    else Array.unsafe_get off (src + 1) - Array.unsafe_get off src
+  in
   (* Directed arcs still incident to unsettled vertices, and the frontier's
      total out-degree — the two sides of the switching heuristic. *)
-  let edges_rest = ref (off.(n) - deg_src) in
+  let edges_rest = ref (vw.View.arcs - deg_src) in
   let scout = ref deg_src in
   let bottom_up = ref false in
   let d = ref 0 in
@@ -237,11 +249,19 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) src =
          arcs a top-down expansion would. *)
       for v = 0 to n - 1 do
         if Array.unsafe_get stamp v <> epoch then begin
-          probe := Array.unsafe_get off v;
-          let hi = Array.unsafe_get off (v + 1) in
+          let dv = ov && Array.unsafe_get dirty v in
+          let a = if dv then xadj else adj in
+          let lo =
+            if dv then Array.unsafe_get xoff v else Array.unsafe_get off v
+          in
+          let hi =
+            if dv then Array.unsafe_get xoff (v + 1)
+            else Array.unsafe_get off (v + 1)
+          in
+          probe := lo;
           found := false;
           while (not !found) && !probe < hi do
-            let w = Array.unsafe_get adj !probe in
+            let w = Array.unsafe_get a !probe in
             if
               Array.unsafe_get stamp w = epoch
               && Array.unsafe_get dist w = !d
@@ -253,9 +273,7 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) src =
             Array.unsafe_set dist v dn;
             Array.unsafe_set nq !next_n v;
             incr next_n;
-            next_scout :=
-              !next_scout + Array.unsafe_get off (v + 1)
-              - Array.unsafe_get off v
+            next_scout := !next_scout + hi - lo
           end
         end
       done
@@ -263,17 +281,28 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) src =
       let q = !q_cur in
       for i = 0 to !cur_n - 1 do
         let u = Array.unsafe_get q i in
-        let lo = Array.unsafe_get off u and hi = Array.unsafe_get off (u + 1) in
+        let du = ov && Array.unsafe_get dirty u in
+        let a = if du then xadj else adj in
+        let lo =
+          if du then Array.unsafe_get xoff u else Array.unsafe_get off u
+        in
+        let hi =
+          if du then Array.unsafe_get xoff (u + 1)
+          else Array.unsafe_get off (u + 1)
+        in
         for j = lo to hi - 1 do
-          let v = Array.unsafe_get adj j in
+          let v = Array.unsafe_get a j in
           if Array.unsafe_get stamp v <> epoch then begin
             Array.unsafe_set stamp v epoch;
             Array.unsafe_set dist v dn;
             Array.unsafe_set nq !next_n v;
             incr next_n;
             next_scout :=
-              !next_scout + Array.unsafe_get off (v + 1)
-              - Array.unsafe_get off v
+              !next_scout
+              +
+              if ov && Array.unsafe_get dirty v then
+                Array.unsafe_get xoff (v + 1) - Array.unsafe_get xoff v
+              else Array.unsafe_get off (v + 1) - Array.unsafe_get off v
           end
         done
       done
@@ -302,6 +331,11 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) src =
     Obs.Metrics.add m_settled ws.settled
   end;
   Obs.Trace.leave t_run tr0
+
+(* Static-graph entry point: the view record is the only setup
+   allocation, built once before the traversal loops. *)
+let[@brokercheck.noalloc] run ws g ?max_depth src =
+  run_view ws (View.of_graph g) ?max_depth src
 
 let max_level ws = ws.max_level
 let reached ws = ws.settled

@@ -77,6 +77,11 @@ val run : workspace -> Graph.t -> ?max_depth:int -> int -> unit
     stops expanding beyond that many hops.
     @raise Invalid_argument when [src] is outside [0 .. n-1]. *)
 
+val run_view : workspace -> View.t -> ?max_depth:int -> int -> unit
+(** {!run} over a {!View.t} — the same engine reading through the
+    base-or-overlay segment selector, so dynamic-topology callers
+    traverse a {!Delta} overlay without compacting it first. *)
+
 val distance : workspace -> int -> int
 (** Distance of a vertex in the last run; [-1] when unreached. *)
 

@@ -169,9 +169,27 @@ let max_degree t =
   !best
 
 let degrees t = Array.init t.n (degree t)
+
+let degrees_into t out =
+  if Array.length out < t.n then
+    invalid_arg "Graph.degrees_into: buffer too small";
+  for u = 0 to t.n - 1 do
+    out.(u) <- t.off.(u + 1) - t.off.(u)
+  done
+
 let is_empty t = t.n = 0
+let arcs t = t.off.(t.n)
 let csr_off t = t.off
 let csr_adj t = t.adj
+
+(* Segments are canonical (sorted, dedup'd, loop-free), so structural
+   array equality decides graph equality — this is what lets Delta.compact
+   claim bitwise agreement with an of_edges rebuild. *)
+let equal a b =
+  a.n = b.n
+  && Array.length a.adj = Array.length b.adj
+  && (a.off == b.off || Array.for_all2 Int.equal a.off b.off)
+  && (a.adj == b.adj || Array.for_all2 Int.equal a.adj b.adj)
 
 let of_csr_unchecked ~n ~off ~adj =
   if Array.length off <> n + 1 || off.(0) <> 0 || off.(n) <> Array.length adj

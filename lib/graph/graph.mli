@@ -39,7 +39,22 @@ val max_degree : t -> int
 val degrees : t -> int array
 (** Fresh array of all vertex degrees. *)
 
+val degrees_into : t -> int array -> unit
+(** Write every vertex degree into the first [n] slots of a caller-owned
+    buffer — the zero-copy alternative to {!degrees} for callers that
+    reuse a scratch array. @raise Invalid_argument when the buffer is
+    shorter than [n]. *)
+
 val is_empty : t -> bool
+
+val arcs : t -> int
+(** Number of directed arcs, i.e. [2 * m t]; O(1). *)
+
+val equal : t -> t -> bool
+(** Structural equality of the CSR arrays. Because construction
+    canonicalizes segments (sorted, duplicate- and self-loop-free), two
+    graphs are [equal] iff they have the same vertex count and edge set —
+    and then their CSR arrays are bitwise identical. *)
 
 val csr_off : t -> int array
 (** The CSR offset array (length [n+1]): vertex [u]'s neighbors occupy

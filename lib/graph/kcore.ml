@@ -1,6 +1,7 @@
 let coreness g =
   let n = Graph.n g in
-  let deg = Graph.degrees g in
+  let deg = Array.make n 0 in
+  Graph.degrees_into g deg;
   let max_deg = Array.fold_left max 0 deg in
   (* Bucket sort vertices by current degree. *)
   let bin = Array.make (max_deg + 1) 0 in

@@ -29,14 +29,16 @@ let power_law_exponent g =
   else 1.0 +. (float_of_int !count /. !acc)
 
 let local_clustering g u =
-  let nbrs = Graph.neighbors g u in
-  let d = Array.length nbrs in
+  (* Read the neighbor segment in place — no fresh array per vertex. *)
+  let off = Graph.csr_off g and adj = Graph.csr_adj g in
+  let lo = off.(u) and hi = off.(u + 1) in
+  let d = hi - lo in
   if d < 2 then 0.0
   else begin
     let links = ref 0 in
-    for i = 0 to d - 1 do
-      for j = i + 1 to d - 1 do
-        if Graph.mem_edge g nbrs.(i) nbrs.(j) then incr links
+    for i = lo to hi - 1 do
+      for j = i + 1 to hi - 1 do
+        if Graph.mem_edge g adj.(i) adj.(j) then incr links
       done
     done;
     2.0 *. float_of_int !links /. float_of_int (d * (d - 1))

@@ -112,8 +112,9 @@ let t_sweep_bu = Obs.Trace.scope "msbfs.sweep.bottom_up"
    counts come from one popcount per frontier word instead of any
    per-bit loop. Checked [@brokercheck.noalloc]: all loop scratch is
    hoisted refs, and per-arc work is pure int ops. *)
-let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
-  let n = Graph.n g in
+let[@brokercheck.noalloc] run_view ws vw ?(max_depth = max_int) sources ~lo
+    ~len =
+  let n = vw.View.n in
   if len < 1 || len > lanes then invalid_arg "Msbfs: batch size out of range";
   if lo < 0 || len > Array.length sources - lo then
     invalid_arg "Msbfs: source range out of bounds";
@@ -126,7 +127,11 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
   ws.epoch <- ws.epoch + 1;
   ws.tick <- ws.tick + 1;
   let epoch = ws.epoch in
-  let off = Graph.csr_off g and adj = Graph.csr_adj g in
+  (* Base-or-overlay segment select, exactly as in {!Bfs.run_view}: for
+     base views [ov] is false and the loops read the bare CSR. *)
+  let off = vw.View.off and adj = vw.View.adj in
+  let ov = vw.View.overlaid in
+  let dirty = vw.View.dirty and xoff = vw.View.xoff and xadj = vw.View.xadj in
   let seen = ws.seen and seen_stamp = ws.seen_stamp in
   let touched = ws.touched and levels = ws.levels in
   let q_cur = ref ws.q_cur and q_next = ref ws.q_next in
@@ -144,7 +149,7 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
   let tick = ref ws.tick in
   let cur_n = ref 0 in
   let scout = ref 0 in
-  let edges_rest = ref off.(n) in
+  let edges_rest = ref vw.View.arcs in
   for b = 0 to len - 1 do
     let s = Array.unsafe_get sources (lo + b) in
     let bit = 1 lsl b in
@@ -153,7 +158,11 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
       Array.unsafe_set seen s bit;
       Array.unsafe_set touched ws.n_touched s;
       ws.n_touched <- ws.n_touched + 1;
-      let deg = Array.unsafe_get off (s + 1) - Array.unsafe_get off s in
+      let deg =
+        if ov && Array.unsafe_get dirty s then
+          Array.unsafe_get xoff (s + 1) - Array.unsafe_get xoff s
+        else Array.unsafe_get off (s + 1) - Array.unsafe_get off s
+      in
       edges_rest := !edges_rest - deg;
       scout := !scout + deg
     end
@@ -209,11 +218,19 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
         in
         let miss = mask land lnot sv in
         if miss <> 0 then begin
-          probe := Array.unsafe_get off v;
-          let hi = Array.unsafe_get off (v + 1) in
+          let dv = ov && Array.unsafe_get dirty v in
+          let a = if dv then xadj else adj in
+          let lo =
+            if dv then Array.unsafe_get xoff v else Array.unsafe_get off v
+          in
+          let hi =
+            if dv then Array.unsafe_get xoff (v + 1)
+            else Array.unsafe_get off (v + 1)
+          in
+          probe := lo;
           acc := 0;
           while !probe < hi && miss land lnot !acc <> 0 do
-            let w = Array.unsafe_get adj !probe in
+            let w = Array.unsafe_get a !probe in
             if Array.unsafe_get fr_stamp w = fr_tick then
               acc := !acc lor Array.unsafe_get fr w;
             incr probe
@@ -225,15 +242,14 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
               Array.unsafe_set seen v add;
               Array.unsafe_set touched ws.n_touched v;
               ws.n_touched <- ws.n_touched + 1;
-              edges_rest :=
-                !edges_rest - (hi - Array.unsafe_get off v)
+              edges_rest := !edges_rest - (hi - lo)
             end
             else Array.unsafe_set seen v (sv lor add);
             Array.unsafe_set nx_stamp v !tick;
             Array.unsafe_set nx v add;
             Array.unsafe_set nq !next_n v;
             next_n := !next_n + 1;
-            next_scout := !next_scout + (hi - Array.unsafe_get off v)
+            next_scout := !next_scout + (hi - lo)
           end
         end
       done
@@ -242,9 +258,17 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
       for i = 0 to !cur_n - 1 do
         let u = Array.unsafe_get q i in
         let fu = Array.unsafe_get fr u in
-        let jlo = Array.unsafe_get off u and jhi = Array.unsafe_get off (u + 1) in
+        let du = ov && Array.unsafe_get dirty u in
+        let a = if du then xadj else adj in
+        let jlo =
+          if du then Array.unsafe_get xoff u else Array.unsafe_get off u
+        in
+        let jhi =
+          if du then Array.unsafe_get xoff (u + 1)
+          else Array.unsafe_get off (u + 1)
+        in
         for j = jlo to jhi - 1 do
-          let v = Array.unsafe_get adj j in
+          let v = Array.unsafe_get a j in
           let sv =
             if Array.unsafe_get seen_stamp v = epoch then
               Array.unsafe_get seen v
@@ -252,14 +276,18 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
           in
           let add = fu land lnot sv in
           if add <> 0 then begin
+            let dv = ov && Array.unsafe_get dirty v in
+            let deg_v =
+              if dv then
+                Array.unsafe_get xoff (v + 1) - Array.unsafe_get xoff v
+              else Array.unsafe_get off (v + 1) - Array.unsafe_get off v
+            in
             if sv = 0 && Array.unsafe_get seen_stamp v <> epoch then begin
               Array.unsafe_set seen_stamp v epoch;
               Array.unsafe_set seen v add;
               Array.unsafe_set touched ws.n_touched v;
               ws.n_touched <- ws.n_touched + 1;
-              edges_rest :=
-                !edges_rest
-                - (Array.unsafe_get off (v + 1) - Array.unsafe_get off v)
+              edges_rest := !edges_rest - deg_v
             end
             else Array.unsafe_set seen v (sv lor add);
             if Array.unsafe_get nx_stamp v <> !tick then begin
@@ -267,9 +295,7 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
               Array.unsafe_set nx v add;
               Array.unsafe_set nq !next_n v;
               next_n := !next_n + 1;
-              next_scout :=
-                !next_scout
-                + (Array.unsafe_get off (v + 1) - Array.unsafe_get off v)
+              next_scout := !next_scout + deg_v
             end
             else Array.unsafe_set nx v (Array.unsafe_get nx v lor add)
           end
@@ -319,6 +345,11 @@ let[@brokercheck.noalloc] run ws g ?(max_depth = max_int) sources ~lo ~len =
     Obs.Metrics.add m_settled_pairs ws.pairs
   end;
   Obs.Trace.leave t_run tr0
+
+(* Static-graph entry point: the view record is the only setup
+   allocation, built once before the sweeps. *)
+let[@brokercheck.noalloc] run ws g ?max_depth sources ~lo ~len =
+  run_view ws (View.of_graph g) ?max_depth sources ~lo ~len
 
 let batch_lanes ws = ws.len
 let max_level ws = ws.max_level

@@ -51,6 +51,13 @@ val run :
     @raise Invalid_argument when [len] is outside [1 .. lanes], the
     range escapes [sources], or a source is outside [0 .. n-1]. *)
 
+val run_view :
+  workspace -> View.t -> ?max_depth:int -> int array -> lo:int -> len:int ->
+  unit
+(** {!run} over a {!View.t} — the same sweeps reading through the
+    base-or-overlay segment selector, so dynamic-topology callers
+    traverse a {!Delta} overlay without compacting it first. *)
+
 val batch_lanes : workspace -> int
 (** Lanes of the last run ([len]). *)
 

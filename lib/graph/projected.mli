@@ -22,6 +22,10 @@ val project : Graph.t -> is_broker:(int -> bool) -> t
     exactly the edges with a broker endpoint. Sorted/deduplicated/symmetric
     CSR invariants are inherited from [g], not recomputed. *)
 
+val project_view : View.t -> is_broker:(int -> bool) -> t
+(** {!project} over a {!View.t}: projects a {!Delta} overlay directly,
+    without compacting it into a fresh CSR first. *)
+
 val graph : t -> Graph.t
 (** The dominated subgraph, on the same vertex ids as the source graph.
     BFS distances over it equal [Bfs.distances_filtered] distances over the

@@ -501,6 +501,21 @@ let find t ~compute src dst =
   | Flush_body fs -> find_flush t fs ~compute src dst
   | Sharded_body sh -> find_sharded t sh ~compute src dst
 
+(* A topology change can reroute any pair, so every cached path is
+   suspect: drop everything, regardless of strategy. *)
+let invalidate_all t =
+  let count = size t in
+  if count > 0 then begin
+    t.s_evicted <- t.s_evicted + count;
+    if Obs.Control.enabled () then Obs.Metrics.add m_invalidated count;
+    match t.body with
+    | Flush_body fs ->
+        Hashtbl.reset fs.store;
+        Hashtbl.reset fs.rev;
+        Hashtbl.reset fs.degraded
+    | Sharded_body sh -> Array.iter Hashtbl.reset sh.tables
+  end
+
 let crash t b =
   if b >= 0 && b < t.n && t.is_shard.(b) && not t.down.(b) then begin
     t.down.(b) <- true;

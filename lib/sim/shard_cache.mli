@@ -104,6 +104,11 @@ val recover : t -> int -> unit
     {!Modulo} reshuffles almost everything a second time. No-op for an
     unknown or already-live shard. *)
 
+val invalidate_all : t -> unit
+(** Drop every cached entry under any strategy, counting them as evicted.
+    Liveness flags are untouched. This is the topology-update hammer: an
+    announce/withdraw can reroute any pair, so no cached path survives. *)
+
 val owner : t -> int -> int -> int option
 (** Current owning shard of the pair, [None] for {!Flush} or when no
     shard is live. Deterministic; the remap-fraction measurements of X8

@@ -8,6 +8,9 @@ module Obs = Broker_obs
 let m_ev_depart = Obs.Metrics.counter "sim.events.depart"
 let m_ev_fault = Obs.Metrics.counter "sim.events.fault"
 let m_ev_retry = Obs.Metrics.counter "sim.events.retry"
+let m_ev_topo = Obs.Metrics.counter "sim.events.topo_update"
+let m_topo_applied = Obs.Metrics.counter "sim.topo.applied"
+let m_topo_ignored = Obs.Metrics.counter "sim.topo.ignored"
 let m_failovers = Obs.Metrics.counter "sim.failovers"
 let m_drops = Obs.Metrics.counter "sim.dropped_midflight"
 let m_retries_scheduled = Obs.Metrics.counter "sim.retries_scheduled"
@@ -56,6 +59,11 @@ type chaos = {
 let default_chaos faults =
   { faults; failover = true; retry = default_retry; breaker = None; chaos_seed = 97 }
 
+type topo_churn = {
+  updates : Topo_stream.event array;  (* origin-time announce/withdraws *)
+  propagation : Topo_stream.propagation;
+}
+
 type stats = {
   offered : int;
   admitted : int;
@@ -74,6 +82,8 @@ type stats = {
   broker_downtime : float;
   revenue_lost : float;
   availability : float;
+  topo_applied : int;
+  topo_ignored : int;
   cache : Shard_cache.stats;
 }
 
@@ -95,6 +105,7 @@ type ev =
   | Depart of live
   | Fault of Faults.kind * int
   | Retry of Workload.session * int  (* next attempt number *)
+  | Topo_update of Topo_stream.op  (* delivered announce/withdraw *)
 
 type block_reason = No_path | Capacity | Shed
 
@@ -110,11 +121,21 @@ let validate ~n ~brokers config =
         invalid_arg "Simulator.run: capacity_of must be >= 0")
     brokers
 
-let run ?chaos ?(cache = Shard_cache.Flush) topo ~brokers ~sessions config =
+let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
+    ~sessions config =
   let tr0 = Obs.Trace.enter () in
   let g = topo.Broker_topo.Topology.graph in
   let n = G.n g in
   validate ~n ~brokers config;
+  (match topo_churn with
+  | None -> ()
+  | Some tc ->
+      Array.iter
+        (fun (e : Topo_stream.event) ->
+          let u, v = Topo_stream.op_endpoints e.Topo_stream.op in
+          if u < 0 || u >= n || v < 0 || v >= n then
+            invalid_arg "Simulator.run: topo update endpoint out of range")
+        tc.updates);
   let is_broker = Broker_core.Connectivity.of_brokers ~n brokers in
   let has_chaos = Option.is_some chaos in
   let failover_on, retry, breaker, fault_events, chaos_seed =
@@ -190,11 +211,23 @@ let run ?chaos ?(cache = Shard_cache.Flush) topo ~brokers ~sessions config =
     Shard_cache.create ~strategy:cache ~seed:(0x5A4D lxor chaos_seed) ~n
       ~shards:brokers ()
   in
+  (* The routed topology is a delta overlay over the base CSR: updates
+     mutate [tdelta] and refresh the immutable [tview] snapshot routing
+     reads. Without topology churn [tview] stays the zero-copy base view,
+     so the static path is untouched. *)
+  let tdelta =
+    match topo_churn with
+    | None -> None
+    | Some _ -> Some (Broker_graph.Delta.create g)
+  in
+  let tview = ref (Broker_graph.View.of_graph g) in
+  let topo_applied = ref 0 in
+  let topo_ignored = ref 0 in
   let path_for src dst =
     Shard_cache.find pcache
       ~compute:(fun () ->
         match
-          Broker_core.Dominating.find_dominated_path g
+          Broker_core.Dominating.find_dominated_path_view !tview
             ~is_broker:is_broker_live src dst
         with
         | [] -> None
@@ -212,6 +245,19 @@ let run ?chaos ?(cache = Shard_cache.Flush) topo ~brokers ~sessions config =
         Event_queue.add events ~time:e.Faults.time
           (Fault (e.Faults.kind, e.Faults.broker)))
     fault_events;
+  (* Topology updates enter at their *delivery* time under the selected
+     propagation model — centralized feed or hop-by-hop BGP-like crawl
+     towards the nearest broker (hop counts on the pre-update graph).
+     Enqueued after the faults, so at equal times a fault is served
+     first (same pessimistic tie-break). *)
+  (match topo_churn with
+  | None -> ()
+  | Some tc ->
+      Array.iter
+        (fun (e : Topo_stream.event) ->
+          Event_queue.add events ~time:e.Topo_stream.time
+            (Topo_update e.Topo_stream.op))
+        (Topo_stream.schedule g ~brokers tc.propagation tc.updates));
   let in_flight_tbl : (int, live) Hashtbl.t = Hashtbl.create 256 in
   let offered = ref 0 in
   let admitted = ref 0 in
@@ -401,6 +447,31 @@ let run ?chaos ?(cache = Shard_cache.Flush) topo ~brokers ~sessions config =
     | Retry (s, attempt) ->
         Obs.Metrics.incr m_ev_retry;
         admit_session s t ~attempt
+    | Topo_update op ->
+        Obs.Metrics.incr m_ev_topo;
+        let d =
+          match tdelta with
+          | Some d -> d
+          | None -> assert false (* only enqueued when topo_churn is set *)
+        in
+        let changed =
+          match op with
+          | Topo_stream.Announce (u, v) -> Broker_graph.Delta.add_edge d u v
+          | Topo_stream.Withdraw (u, v) -> Broker_graph.Delta.remove_edge d u v
+        in
+        if changed then begin
+          incr topo_applied;
+          Obs.Metrics.incr m_topo_applied;
+          tview := Broker_graph.Delta.view d;
+          (* Any cached path may now be wrong (or newly beatable):
+             everything goes. Subsequent lookups recompute against the
+             fresh view. *)
+          Shard_cache.invalidate_all pcache
+        end
+        else begin
+          incr topo_ignored;
+          Obs.Metrics.incr m_topo_ignored
+        end
   in
   let process_until t =
     let continue = ref true in
@@ -488,6 +559,8 @@ let run ?chaos ?(cache = Shard_cache.Flush) topo ~brokers ~sessions config =
     broker_downtime = !downtime;
     revenue_lost = !revenue_lost;
     availability;
+    topo_applied = !topo_applied;
+    topo_ignored = !topo_ignored;
     cache = Shard_cache.stats pcache;
   }
   |> fun stats ->
@@ -515,4 +588,6 @@ let stats_equal a b =
   && Float.equal a.broker_downtime b.broker_downtime
   && Float.equal a.revenue_lost b.revenue_lost
   && Float.equal a.availability b.availability
+  && a.topo_applied = b.topo_applied
+  && a.topo_ignored = b.topo_ignored
   && Shard_cache.stats_equal a.cache b.cache

@@ -86,6 +86,20 @@ type chaos = {
 val default_chaos : Faults.event array -> chaos
 (** Failover on, {!default_retry}, no breaker, seed 97. *)
 
+type topo_churn = {
+  updates : Topo_stream.event array;
+      (** announce/withdraw stream stamped with *origin* times; the
+          simulator delays each by the propagation model before it takes
+          effect *)
+  propagation : Topo_stream.propagation;
+}
+(** Streaming topology churn. Routing reads a {!Broker_graph.Delta}
+    overlay over the base CSR; every applied update refreshes the
+    overlay view and invalidates the whole path cache (an edge change
+    can reroute any pair). At equal times faults are served before
+    updates. With [?topo] absent — or an empty/no-op stream — the run is
+    byte-identical to the static simulator. *)
+
 type stats = {
   offered : int;  (** sessions presented (retries not re-counted) *)
   admitted : int;
@@ -111,6 +125,11 @@ type stats = {
   revenue_lost : float;  (** refunds issued for mid-flight drops *)
   availability : float;
       (** 1 − downtime / (brokers · horizon); 1.0 without chaos *)
+  topo_applied : int;
+      (** delivered topology updates that changed the edge set *)
+  topo_ignored : int;
+      (** delivered updates that were already satisfied (duplicate
+          announce, withdraw of an absent edge) *)
   cache : Shard_cache.stats;
       (** path-cache outcome tallies (hits, degraded serves, lazy
           repairs, recomputes, evictions) for the whole run *)
@@ -125,6 +144,7 @@ val stats_equal : stats -> stats -> bool
 
 val run :
   ?chaos:chaos ->
+  ?topo:topo_churn ->
   ?cache:Shard_cache.strategy ->
   Broker_topo.Topology.t ->
   brokers:int array ->
@@ -137,5 +157,6 @@ val run :
     without faults every strategy admits the same sessions — only the
     cache outcome tallies may differ.
     @raise Invalid_argument on out-of-order arrivals, negative [price],
-    [employee_cost] or [capacity_of], an out-of-range broker id, or an
-    invalid cache strategy ([Ring] with [vnodes < 1]). *)
+    [employee_cost] or [capacity_of], an out-of-range broker or topology
+    update endpoint, or an invalid cache strategy ([Ring] with
+    [vnodes < 1]). *)

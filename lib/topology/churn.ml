@@ -5,12 +5,12 @@ let grow ~rng topo ~new_ases =
   if new_ases < 0 then invalid_arg "Churn.grow: negative growth";
   let old_n = Topology.n topo in
   let n = old_n + new_ases in
-  let old_edges = G.edges topo.Topology.graph in
-  let edges = ref (Array.to_list old_edges) in
+  let edges = ref [] in
   let relations = Node_meta.Relations.create () in
-  (* Copy existing relations onto the same ids. *)
-  Array.iter
-    (fun (u, v) ->
+  (* One in-place sweep collects the old edges and copies their relations
+     onto the same ids — no materialized edge array. *)
+  G.iter_edges topo.Topology.graph (fun u v ->
+      edges := (u, v) :: !edges;
       match Node_meta.Relations.find topo.Topology.relations u v with
       | Some Node_meta.Customer_provider ->
           if Node_meta.Relations.customer_of topo.Topology.relations u v then
@@ -21,8 +21,7 @@ let grow ~rng topo ~new_ases =
           if Topology.is_ixp topo v then
             Node_meta.Relations.add_ixp_member relations ~as_node:u ~ixp:v
           else Node_meta.Relations.add_ixp_member relations ~as_node:v ~ixp:u
-      | None -> ())
-    old_edges;
+      | None -> ());
   (* Degree-weighted provider pool over the existing transit core. *)
   let core = ref [] in
   for v = 0 to old_n - 1 do

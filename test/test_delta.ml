@@ -1,0 +1,391 @@
+(* The dynamic-topology layer: delta overlays over the immutable CSR,
+   view-based kernel equivalence, compaction bitwise-equality, the
+   incremental connectivity tracker vs the from-scratch oracle (across
+   REPRO_DOMAINS), the update-stream generator/scheduler, and the
+   simulator's streaming-update path. *)
+
+open Helpers
+module G = Broker_graph.Graph
+module View = Broker_graph.View
+module Delta = Broker_graph.Delta
+module Bfs = Broker_graph.Bfs
+module X = Broker_util.Xrandom
+module Conn = Broker_core.Connectivity
+module Incr = Broker_core.Incremental
+module Sim = Broker_sim.Simulator
+module Stream = Broker_sim.Topo_stream
+module Cache = Broker_sim.Shard_cache
+module Workload = Broker_sim.Workload
+
+let q ?(count = 80) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+let with_domains v f =
+  let saved = Sys.getenv_opt "REPRO_DOMAINS" in
+  Unix.putenv "REPRO_DOMAINS" v;
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "REPRO_DOMAINS" (Option.value ~default:"" saved))
+    f
+
+(* A base graph plus a random announce/withdraw script (endpoints may
+   collide or repeat: self-loops and duplicate ops must be no-ops). *)
+let script_arb =
+  QCheck.make
+    ~print:(fun (n, m, nops, seed) ->
+      Printf.sprintf "<n=%d m=%d nops=%d seed=%d>" n m nops seed)
+    QCheck.Gen.(
+      int_range 2 32 >>= fun n ->
+      int_range 0 64 >>= fun m ->
+      int_range 0 96 >>= fun nops ->
+      int_range 0 1_000_000 >|= fun seed -> (n, m, nops, seed))
+
+(* Replay a script into a delta and, in lockstep, a naive edge-set model.
+   Returns the delta and the model's edge array. *)
+let replay (n, m, nops, seed) =
+  let rng = X.create seed in
+  let g = random_graph rng ~n ~m in
+  let d = Delta.create g in
+  let model = Hashtbl.create 64 in
+  let key u v = (min u v * n) + max u v in
+  G.iter_edges g (fun u v -> Hashtbl.replace model (key u v) (u, v));
+  let ok = ref true in
+  for _ = 1 to nops do
+    let u = X.int rng n and v = X.int rng n in
+    let announce = X.int rng 2 = 0 in
+    let present = Hashtbl.mem model (key u v) in
+    if announce then begin
+      let changed = Delta.add_edge d u v in
+      if changed <> ((not present) && u <> v) then ok := false;
+      if u <> v then Hashtbl.replace model (key u v) (u, v)
+    end
+    else begin
+      let changed = Delta.remove_edge d u v in
+      if changed <> present then ok := false;
+      Hashtbl.remove model (key u v)
+    end
+  done;
+  let edges = Array.of_seq (Hashtbl.to_seq_values model) in
+  (g, d, G.of_edges ~n edges, !ok)
+
+let neighbors_of_view vw u =
+  List.rev (View.fold_neighbors vw u (fun acc v -> v :: acc) [])
+
+let overlay_reads_match_rebuild =
+  q "overlay reads = rebuilt-CSR reads" script_arb (fun script ->
+      let _, d, rebuilt, ok = replay script in
+      let vw = Delta.view d in
+      let n = G.n rebuilt in
+      ok
+      && Delta.edges d = G.m rebuilt
+      && Delta.arcs d = G.arcs rebuilt
+      && View.n vw = n
+      && View.arcs vw = G.arcs rebuilt
+      &&
+      let per_vertex = ref true in
+      for u = 0 to n - 1 do
+        if Delta.degree d u <> G.degree rebuilt u then per_vertex := false;
+        if View.degree vw u <> G.degree rebuilt u then per_vertex := false;
+        if neighbors_of_view vw u <> Array.to_list (G.neighbors rebuilt u)
+        then per_vertex := false;
+        for v = 0 to n - 1 do
+          if Delta.mem_edge d u v <> G.mem_edge rebuilt u v then
+            per_vertex := false;
+          if View.mem_edge vw u v <> G.mem_edge rebuilt u v then
+            per_vertex := false
+        done
+      done;
+      !per_vertex)
+
+let compact_equals_rebuild =
+  q "compact = of_edges rebuild (bitwise)" script_arb (fun script ->
+      let g, d, rebuilt, _ = replay script in
+      G.equal (Delta.compact g d) rebuilt)
+
+let view_is_snapshot =
+  q "views are immutable snapshots" script_arb (fun ((n, _, _, seed) as script) ->
+      let _, d, rebuilt, _ = replay script in
+      let vw = Delta.view d in
+      (* Mutate on: flip edges around a random vertex. *)
+      let rng = X.create (seed + 1) in
+      for _ = 1 to 8 do
+        let u = X.int rng n and v = X.int rng n in
+        if Delta.mem_edge d u v then ignore (Delta.remove_edge d u v)
+        else ignore (Delta.add_edge d u v)
+      done;
+      let still = ref true in
+      for u = 0 to n - 1 do
+        if neighbors_of_view vw u <> Array.to_list (G.neighbors rebuilt u)
+        then still := false
+      done;
+      !still)
+
+let bfs_view_matches_rebuild =
+  let ws = Bfs.workspace () in
+  let ws' = Bfs.workspace () in
+  q "Bfs.run_view on overlay = Bfs.run on rebuild" script_arb
+    (fun ((n, _, _, seed) as script) ->
+      let _, d, rebuilt, _ = replay script in
+      let src = X.int (X.create (seed + 2)) n in
+      Bfs.run_view ws (Delta.view d) src;
+      Bfs.run ws' rebuilt src;
+      let a = Array.make n 0 and b = Array.make n 0 in
+      Bfs.distances_into ws a;
+      Bfs.distances_into ws' b;
+      a = b)
+
+(* ---------- incremental tracker vs from-scratch oracle ---------- *)
+
+let curves_equal (a : Conn.curve) (b : Conn.curve) =
+  a.Conn.l_max = b.Conn.l_max
+  && Float.equal a.Conn.saturated b.Conn.saturated
+  && Array.for_all2 Float.equal a.Conn.per_hop b.Conn.per_hop
+
+let incr_script_arb =
+  QCheck.make
+    ~print:(fun (n, m, k, nops, seed) ->
+      Printf.sprintf "<n=%d m=%d brokers=%d nops=%d seed=%d>" n m k nops seed)
+    QCheck.Gen.(
+      int_range 2 28 >>= fun n ->
+      int_range 0 56 >>= fun m ->
+      int_range 0 6 >>= fun k ->
+      int_range 0 24 >>= fun nops ->
+      int_range 0 1_000_000 >|= fun seed -> (n, m, k, nops, seed))
+
+let incremental_matches_oracle_under ~domains =
+  q ~count:40
+    (Printf.sprintf "incremental = oracle (REPRO_DOMAINS=%s)" domains)
+    incr_script_arb
+    (fun (n, m, k, nops, seed) ->
+      with_domains domains (fun () ->
+          let rng = X.create seed in
+          let g = random_graph rng ~n ~m in
+          let brokers = Array.init k (fun _ -> X.int rng n) in
+          let is_broker = Conn.of_brokers ~n brokers in
+          let nsrc = 1 + X.int rng 70 in
+          let sources = Array.init nsrc (fun _ -> X.int rng n) in
+          let tracker = Incr.create g ~is_broker ~sources in
+          let d = Delta.create g in
+          (* Two bursts: the second starts from an already-dirty overlay. *)
+          let burst () =
+            Array.init (nops / 2) (fun _ ->
+                let u = X.int rng n and v = X.int rng n in
+                if X.int rng 2 = 0 then Incr.Add (u, v) else Incr.Remove (u, v))
+          in
+          let check_burst ops =
+            ignore (Incr.apply tracker ops);
+            Array.iter
+              (fun op ->
+                ignore
+                  (match op with
+                  | Incr.Add (u, v) -> Delta.add_edge d u v
+                  | Incr.Remove (u, v) -> Delta.remove_edge d u v))
+              ops;
+            let g' = Delta.compact g d in
+            curves_equal (Incr.curve tracker)
+              (Conn.eval_sources g' ~is_broker sources)
+          in
+          let initial =
+            curves_equal (Incr.curve tracker)
+              (Conn.eval_sources g ~is_broker sources)
+          in
+          initial && check_burst (burst ()) && check_burst (burst ())))
+
+let incr_stats_accounting () =
+  (* Hand-built scene: broker 0 in a 4-chain 0-1-2-3. *)
+  let g = G.of_edges ~n:4 [| (0, 1); (1, 2); (2, 3) |] in
+  let is_broker v = v = 0 in
+  let sources = [| 0; 1; 2; 3 |] in
+  let t = Incr.create g ~is_broker ~sources in
+  (* (2,3) has no broker endpoint: ignored. (0,1) exists: noop.
+     (0,3) is new and dominated: applied. *)
+  let s =
+    Incr.apply t [| Incr.Remove (2, 3); Incr.Add (0, 1); Incr.Add (0, 3) |]
+  in
+  check_int "applied" 1 s.Incr.applied;
+  check_int "noops" 1 s.Incr.noops;
+  check_int "ignored" 1 s.Incr.ignored;
+  check_int "batches total" 1 s.Incr.batches_total;
+  check_int "batches reevaluated" 1 s.Incr.batches_reevaluated;
+  (* No dominated change -> no re-evaluation. *)
+  let s2 = Incr.apply t [| Incr.Remove (1, 2) |] in
+  check_int "ignored only" 1 s2.Incr.ignored;
+  check_int "no re-eval" 0 s2.Incr.batches_reevaluated
+
+(* ---------- update streams ---------- *)
+
+let burst_is_valid =
+  q ~count:60 "burst: disjoint valid withdraw/announce ops" graph_arbitrary
+    (fun g ->
+      let n = G.n g in
+      let rng = X.create 4242 in
+      let ops = Stream.burst ~rng g ~size:24 in
+      let seen = Hashtbl.create 64 in
+      Array.for_all
+        (fun op ->
+          let u, v = Stream.op_endpoints op in
+          let k = (min u v * n) + max u v in
+          let fresh = not (Hashtbl.mem seen k) in
+          Hashtbl.replace seen k ();
+          fresh && u <> v
+          &&
+          match op with
+          | Stream.Withdraw _ -> G.mem_edge g u v
+          | Stream.Announce _ -> not (G.mem_edge g u v))
+        ops)
+
+let schedule_delays () =
+  let g = G.of_edges ~n:5 [| (0, 1); (1, 2); (2, 3); (3, 4) |] in
+  let ev op = { Stream.time = 1.0; op } in
+  let events = [| ev (Stream.Announce (3, 4)); ev (Stream.Withdraw (0, 1)) |] in
+  let central =
+    Stream.schedule g ~brokers:[| 0 |] (Stream.Centralized { delay = 2.5 })
+      events
+  in
+  Array.iter
+    (fun e -> check_float "constant delay" 3.5 e.Stream.time)
+    central;
+  let bgp =
+    Stream.schedule g ~brokers:[| 0 |]
+      (Stream.Bgp_like { base = 1.0; per_hop = 2.0 })
+      events
+  in
+  (* (3,4): nearer endpoint 3 hops to broker 0 -> 1.0 + (1 + 2*3). *)
+  check_float "hop-staggered" 8.0 bgp.(0).Stream.time;
+  (* (0,1): broker endpoint itself -> 0 hops. *)
+  check_float "broker-adjacent" 2.0 bgp.(1).Stream.time;
+  (* No broker reachable: pessimistic n hops. *)
+  let far =
+    Stream.schedule g ~brokers:[||]
+      (Stream.Bgp_like { base = 0.0; per_hop = 1.0 })
+      [| ev (Stream.Announce (0, 1)) |]
+  in
+  check_float "unreachable pays n" 6.0 far.(0).Stream.time
+
+(* ---------- cache invalidation ---------- *)
+
+let test_invalidate_all () =
+  List.iter
+    (fun strategy ->
+      let c =
+        Cache.create ~strategy ~n:10 ~shards:[| 1; 2; 3 |] ()
+      in
+      for s = 0 to 4 do
+        ignore
+          (Cache.find c ~compute:(fun () -> Some [| s; 9 |]) s 9)
+      done;
+      check_int "filled" 5 (Cache.size c);
+      Cache.invalidate_all c;
+      check_int "emptied" 0 (Cache.size c);
+      check_int "evictions counted" 5 (Cache.stats c).Cache.evicted;
+      (* Idempotent on empty. *)
+      Cache.invalidate_all c;
+      check_int "still counted once" 5 (Cache.stats c).Cache.evicted;
+      check_bool "invariants hold" true (Cache.invariant_ok c))
+    [ Cache.Flush; Cache.Modulo; Cache.Ring { vnodes = 8 } ]
+
+(* ---------- simulator streaming-update path ---------- *)
+
+let sim_scene () =
+  let topo = small_internet ~seed:5 ~scale:0.01 () in
+  let g = topo.Broker_topo.Topology.graph in
+  let order = Broker_core.Maxsg.run_to_saturation g in
+  let brokers = Array.sub order 0 (min 12 (Array.length order)) in
+  let model = Workload.zipf ~n:(G.n g) () in
+  let sessions =
+    Workload.generate ~rng:(X.create 7) model ~n_sessions:400
+      Workload.default_params
+  in
+  (topo, g, brokers, sessions)
+
+let test_sim_empty_topo_identical () =
+  let topo, g, brokers, sessions = sim_scene () in
+  let config = Sim.degree_capacity g ~factor:0.3 in
+  let base = Sim.run topo ~brokers ~sessions config in
+  let empty =
+    Sim.run
+      ~topo:
+        {
+          Sim.updates = [||];
+          propagation = Stream.Centralized { delay = 1.0 };
+        }
+      topo ~brokers ~sessions config
+  in
+  check_bool "empty stream = static run" true (Sim.stats_equal base empty);
+  check_int "nothing applied" 0 empty.Sim.topo_applied;
+  check_int "nothing ignored" 0 empty.Sim.topo_ignored
+
+let test_sim_applies_updates () =
+  let topo, g, brokers, sessions = sim_scene () in
+  let config = Sim.degree_capacity g ~factor:0.3 in
+  let horizon = sessions.(Array.length sessions - 1).Workload.arrival in
+  let ops = Stream.burst ~rng:(X.create 21) g ~size:16 in
+  let updates =
+    Array.map (fun op -> { Stream.time = 0.5 *. horizon; op }) ops
+  in
+  let run prop =
+    Sim.run ~topo:{ Sim.updates; propagation = prop } topo ~brokers ~sessions
+      config
+  in
+  let s = run (Stream.Centralized { delay = 1.0 }) in
+  check_int "every op lands once" (Array.length ops)
+    (s.Sim.topo_applied + s.Sim.topo_ignored);
+  check_bool "burst ops all change the graph" true (s.Sim.topo_applied > 0);
+  check_bool "cache flushed on change" true
+    (s.Sim.cache.Cache.evicted > 0 || s.Sim.cache.Cache.lookups = 0);
+  (* Deterministic replay, including under the BGP-like scheduler. *)
+  let s2 = run (Stream.Centralized { delay = 1.0 }) in
+  check_bool "replay identical" true (Sim.stats_equal s s2);
+  let b1 = run (Stream.Bgp_like { base = 0.5; per_hop = 1.0 }) in
+  let b2 = run (Stream.Bgp_like { base = 0.5; per_hop = 1.0 }) in
+  check_bool "bgp replay identical" true (Sim.stats_equal b1 b2)
+
+let test_sim_rejects_bad_update () =
+  let topo, g, brokers, sessions = sim_scene () in
+  let config = Sim.degree_capacity g ~factor:0.3 in
+  let updates =
+    [| { Stream.time = 0.0; op = Stream.Announce (0, G.n g) } |]
+  in
+  Alcotest.check_raises "endpoint out of range"
+    (Invalid_argument "Simulator.run: topo update endpoint out of range")
+    (fun () ->
+      ignore
+        (Sim.run
+           ~topo:
+             {
+               Sim.updates;
+               propagation = Stream.Centralized { delay = 1.0 };
+             }
+           topo ~brokers ~sessions config))
+
+let suite =
+  [
+    ( "delta.overlay",
+      [
+        overlay_reads_match_rebuild;
+        compact_equals_rebuild;
+        view_is_snapshot;
+        bfs_view_matches_rebuild;
+      ] );
+    ( "delta.incremental",
+      [
+        incremental_matches_oracle_under ~domains:"1";
+        incremental_matches_oracle_under ~domains:"4";
+        Alcotest.test_case "stats accounting" `Quick incr_stats_accounting;
+      ] );
+    ( "delta.stream",
+      [
+        burst_is_valid;
+        Alcotest.test_case "schedule delays" `Quick schedule_delays;
+        Alcotest.test_case "invalidate_all" `Quick test_invalidate_all;
+      ] );
+    ( "delta.sim",
+      [
+        Alcotest.test_case "empty topo stream is identity" `Quick
+          test_sim_empty_topo_identical;
+        Alcotest.test_case "updates applied & deterministic" `Quick
+          test_sim_applies_updates;
+        Alcotest.test_case "rejects out-of-range endpoints" `Quick
+          test_sim_rejects_bad_update;
+      ] );
+  ]

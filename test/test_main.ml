@@ -3,5 +3,5 @@ let () =
     (Test_util.suite @ Test_graph.suite @ Test_topo.suite @ Test_core.suite
    @ Test_routing.suite @ Test_econ.suite @ Test_extensions.suite @ Test_sim.suite
    @ Test_properties.suite @ Test_edge_cases.suite @ Test_bfs_engine.suite
-   @ Test_msbfs.suite @ Test_experiments.suite @ Test_report.suite
-   @ Test_obs.suite)
+   @ Test_msbfs.suite @ Test_delta.suite @ Test_experiments.suite
+   @ Test_report.suite @ Test_obs.suite)

@@ -176,6 +176,8 @@ let suite =
           (test_text_golden "ext_resilience");
         Alcotest.test_case "ext_churn_cache" `Quick
           (test_text_golden "ext_churn_cache");
+        Alcotest.test_case "ext_reconverge" `Quick
+          (test_text_golden "ext_reconverge");
       ] );
     ( "report.diff",
       [
