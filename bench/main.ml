@@ -154,6 +154,32 @@ let dynamic_pair ctx =
                 srcs)));
   ]
 
+(* brokerstat hot paths: the sketch record (must bench at 0 allocated
+   words — the admission loop calls it per session) and a window-flush
+   cycle of the timeseries registry (restart + 256 adds across 64
+   windows + flush). Values are precomputed so the staged thunks time
+   the probes, not the value generation. *)
+let brokerstat_tests () =
+  let open Bechamel in
+  let sk = Obs.Sketch.create () in
+  let vals = Array.init 4096 (fun i -> i * 2654435761 land 0xFFFFF) in
+  let cursor = ref 0 in
+  let ts = Obs.Timeseries.series ~window:0.25 "bench.ts.window_flush" in
+  [
+    Test.make ~name:"sketch_record"
+      (Staged.stage (fun () ->
+           let j = !cursor land 4095 in
+           incr cursor;
+           Obs.Sketch.record sk vals.(j)));
+    Test.make ~name:"window_flush"
+      (Staged.stage (fun () ->
+           Obs.Timeseries.restart ~window:0.25 ts;
+           for k = 0 to 255 do
+             Obs.Timeseries.add ts ~time:(float_of_int k *. 0.0625) 1
+           done;
+           Obs.Timeseries.flush ts));
+  ]
+
 let kernel_tests () =
   let open Bechamel in
   let ctx = E.Ctx.create ~scale:0.05 ~sources:32 ~seed:11 () in
@@ -188,6 +214,7 @@ let kernel_tests () =
   ]
   @ connectivity_pair ctx
   @ dynamic_pair ctx
+  @ brokerstat_tests ()
 
 let chaos_tests () =
   let open Bechamel in
@@ -611,7 +638,8 @@ let run_timings ~json ~fullscale () =
 let perf_smoke ~json () =
   let ctx = E.Ctx.create ~scale:0.02 ~sources:32 ~seed:11 () in
   let stats =
-    run_suite ~quota:1.0 "kernels" (connectivity_pair ctx @ dynamic_pair ctx)
+    run_suite ~quota:1.0 "kernels"
+      (connectivity_pair ctx @ dynamic_pair ctx @ brokerstat_tests ())
   in
   print_suite "kernels (perf smoke)" stats;
   (match json with

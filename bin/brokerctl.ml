@@ -178,7 +178,11 @@ let export_dot_cmd =
 (* simulate *)
 let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
     mttr scenario no_failover retries cache_strategy vnodes topo_updates
-    topo_propagation topo_delay topo_per_hop topo_at =
+    topo_propagation topo_delay topo_per_hop topo_at stats_window timeline =
+  if stats_window < 0.0 then begin
+    prerr_endline "brokerctl simulate: --stats-window must be positive";
+    exit 2
+  end;
   let cache =
     match Broker_sim.Shard_cache.strategy_of_string ~vnodes cache_strategy with
     | Ok s -> s
@@ -259,9 +263,23 @@ let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
             }
         end
       in
+      let stats_window =
+        (* --timeline without an explicit window defaults to 40 windows
+           across the arrival horizon. *)
+        if stats_window > 0.0 then Some stats_window
+        else if Option.is_some timeline then begin
+          let horizon =
+            (if Array.length sessions = 0 then 0.0
+             else sessions.(Array.length sessions - 1).Broker_sim.Workload.arrival)
+            +. 20.0
+          in
+          Some (Float.max 1e-6 (horizon /. 40.0))
+        end
+        else None
+      in
       let s =
-        Broker_sim.Simulator.run ?chaos ?topo:topo_churn ~cache topo ~brokers
-          ~sessions config
+        Broker_sim.Simulator.run ?chaos ?topo:topo_churn ~cache ?stats_window
+          topo ~brokers ~sessions config
       in
       Printf.printf "offered             %d\n" s.Broker_sim.Simulator.offered;
       Printf.printf "admitted            %d (%.2f%%)\n" s.Broker_sim.Simulator.admitted
@@ -308,7 +326,28 @@ let simulate path brokers_path n_sessions capacity_factor seed chaos_on mtbf
       Printf.printf "cache recomputed    %d\n"
         c.Broker_sim.Shard_cache.recomputed;
       Printf.printf "cache evicted       %d\n" c.Broker_sim.Shard_cache.evicted;
-      Printf.printf "cache flushed       %d\n" c.Broker_sim.Shard_cache.flushed
+      Printf.printf "cache flushed       %d\n" c.Broker_sim.Shard_cache.flushed;
+      (match stats_window with
+      | None -> ()
+      | Some w ->
+          Printf.printf "stats window        %.3f\n" w;
+          let with_data =
+            List.filter
+              (fun ts ->
+                Array.length (Broker_obs.Timeseries.points ts) > 0)
+              (Broker_obs.Timeseries.all ())
+          in
+          Printf.printf "timeline series     %d\n" (List.length with_data);
+          (match timeline with
+          | None -> ()
+          | Some out ->
+              let json = Broker_report.Report_obs.timeline_to_json () in
+              let oc = open_out out in
+              output_string oc json;
+              output_string oc "\n";
+              close_out oc;
+              Printf.eprintf "timeline: %d series -> %s\n"
+                (List.length with_data) out))
 
 let simulate_cmd =
   let brokers =
@@ -395,13 +434,30 @@ let simulate_cmd =
             "Burst origin time as a fraction of the arrival horizon \
              (default 0.5).")
   in
+  let stats_window =
+    Arg.(
+      value & opt float 0.0
+      & info [ "stats-window" ]
+          ~doc:
+            "Collect brokerstat sim-time timelines with this window width \
+             (0 disables; --timeline implies a default window).")
+  in
+  let timeline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "timeline" ]
+          ~doc:
+            "Write the collected timelines (per-window throughput and \
+             latency percentiles) as a report JSON artifact.")
+  in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Flow-level brokerage simulation with admission control")
     Term.(
       const simulate $ topo_arg $ brokers $ sessions $ factor $ seed_arg
       $ chaos $ mtbf $ mttr $ scenario $ no_failover $ retries
       $ cache_strategy $ vnodes $ topo_updates $ topo_propagation
-      $ topo_delay $ topo_per_hop $ topo_at)
+      $ topo_delay $ topo_per_hop $ topo_at $ stats_window $ timeline)
 
 (* resilience *)
 let resilience path brokers_path sources seed =
@@ -518,6 +574,10 @@ let write_trace path =
   end
 
 let obs_finish ~trace ~metrics ~summary ~regen =
+  (* Fold ring truncation into the snapshot before taking it, so
+     `--obs-summary` and `--metrics` surface trace.dropped even when the
+     trace itself is not written. *)
+  if Obs.Trace.armed () then Obs.Trace.publish_dropped ();
   let snap =
     if Obs.Control.enabled () then Some (Obs.Metrics.snapshot ()) else None
   in

@@ -41,6 +41,7 @@ let experiments =
     { id = "ext_regions"; description = "region-aware selection fairness"; artifact = "extension"; report = Extensions.regions };
     { id = "ext_churn_cache"; description = "path-cache strategies under broker churn"; artifact = "extension"; report = Ext_churn_cache.report };
     { id = "ext_reconverge"; description = "dynamic topology & coverage re-convergence"; artifact = "extension"; report = Ext_reconverge.report };
+    { id = "ext_timeline"; description = "brokerstat phase timelines & recovery"; artifact = "extension"; report = Ext_timeline.report };
   ]
 
 let find id =

@@ -1,9 +1,15 @@
 type counter = { c_volatile : bool; cell : int Atomic.t }
 type gauge = { g_volatile : bool; gcell : int Atomic.t }
 
+(* Histograms are a Sketch at sub_bits 0: the two-level HDR indexing
+   degenerates to one cell per power-of-two octave — 63 cells with
+   exactly the historical bucket edges (bucket 0 holds <= 0, bucket
+   i >= 1 holds [2^(i-1), 2^i)), so snapshots and the hist.* report
+   series are byte-identical to the pre-Sketch implementation. *)
+let hist_sub_bits = 0
 let bucket_count = 63
 
-type histogram = { h_volatile : bool; buckets : int Atomic.t array }
+type histogram = { h_volatile : bool; sk : Sketch.t }
 
 type reg =
   | Rcounter of counter
@@ -51,10 +57,7 @@ let histogram ?(volatile = false) name =
   register name
     (fun () ->
       Rhist
-        {
-          h_volatile = volatile;
-          buckets = Array.init bucket_count (fun _ -> Atomic.make 0);
-        })
+        { h_volatile = volatile; sk = Sketch.create ~sub_bits:hist_sub_bits () })
     (function
       | Rhist h when h.h_volatile = volatile -> Some h
       | _ -> None)
@@ -70,22 +73,8 @@ let rec gauge_max g v =
     if v > cur && not (Atomic.compare_and_set g.gcell cur v) then gauge_max g v
   end
 
-let bucket_of v =
-  if v <= 0 then 0
-  else begin
-    (* floor(log2 v) + 1, i.e. the position of the highest set bit:
-       bucket i (i >= 1) covers [2^(i-1), 2^i). *)
-    let i = ref 0 and x = ref v in
-    while !x > 0 do
-      Stdlib.incr i;
-      x := !x lsr 1
-    done;
-    min !i (bucket_count - 1)
-  end
-
-let observe h v =
-  if Control.enabled () then
-    ignore (Atomic.fetch_and_add h.buckets.(bucket_of v) 1)
+let bucket_of v = Sketch.index_at ~sub_bits:hist_sub_bits v
+let observe h v = if Control.enabled () then Sketch.record h.sk v
 
 (* --- snapshots -------------------------------------------------------- *)
 
@@ -106,7 +95,7 @@ let snapshot () =
           match r with
           | Rcounter c -> (c.c_volatile, Counter (Atomic.get c.cell))
           | Rgauge g -> (g.g_volatile, Gauge_max (Atomic.get g.gcell))
-          | Rhist h -> (h.h_volatile, Histogram (Array.map Atomic.get h.buckets))
+          | Rhist h -> (h.h_volatile, Histogram (Sketch.counts h.sk))
         in
         { name; volatile; value } :: acc)
       registry []
@@ -126,6 +115,6 @@ let reset () =
       match r with
       | Rcounter c -> Atomic.set c.cell 0
       | Rgauge g -> Atomic.set g.gcell 0
-      | Rhist h -> Array.iter (fun b -> Atomic.set b 0) h.buckets)
+      | Rhist h -> Sketch.reset h.sk)
     registry;
   Mutex.unlock lock

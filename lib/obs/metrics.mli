@@ -29,7 +29,9 @@ val gauge : ?volatile:bool -> string -> gauge
 val histogram : ?volatile:bool -> string -> histogram
 (** Log-bucketed histogram with {!bucket_count} fixed bins: bucket 0
     holds values [<= 0], bucket [i >= 1] holds [2^(i-1) .. 2^i - 1], and
-    the last bucket absorbs everything larger. *)
+    the last bucket absorbs everything larger. Internally a {!Sketch}
+    at [sub_bits = 0] — the same bucketing implementation the
+    {!Timeseries} latency windows use at finer resolution. *)
 
 val add : counter -> int -> unit
 val incr : counter -> unit

@@ -119,6 +119,14 @@ let dropped () =
   | None -> 0
   | Some r -> max 0 (Atomic.get r.cursor - (r.mask + 1))
 
+(* Silent ring truncation is invisible in the trace itself (the oldest
+   events are simply gone), so the wraparound count is also published
+   as a metric: it rides every snapshot into `--obs-summary` and the
+   metrics artifact. Volatile — how many events fit before wrapping
+   depends on wall-clock interleaving and the domain count. *)
+let g_dropped = Metrics.gauge ~volatile:true "trace.dropped"
+let publish_dropped () = Metrics.gauge_max g_dropped (dropped ())
+
 (* --- Chrome trace-event sink ----------------------------------------- *)
 
 let add_json_string buf s =
@@ -220,6 +228,7 @@ let to_chrome_json () =
 let write ~path =
   if (not !armed_flag) || recorded () = 0 then false
   else begin
+    publish_dropped ();
     let oc = open_out path in
     output_string oc (to_chrome_json ());
     close_out oc;

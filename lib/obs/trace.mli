@@ -54,6 +54,13 @@ val recorded : unit -> int
 val dropped : unit -> int
 (** Events lost to ring wraparound since {!arm}/{!reset}. *)
 
+val publish_dropped : unit -> unit
+(** Push {!dropped} into the volatile [trace.dropped] gauge so the
+    next {!Metrics.snapshot} (hence [--obs-summary] and the metrics
+    artifact) surfaces silent ring truncation. {!write} calls it
+    automatically; call it yourself before snapshotting when the trace
+    is kept in memory. *)
+
 val to_chrome_json : unit -> string
 (** The trace as a JSON object: [{"traceEvents": [...], ...}] with
     per-domain [tid]s, thread-name metadata, and microsecond

@@ -59,5 +59,78 @@ let report ?(name = "obs_metrics") snap =
      scheduling) are excluded from `report diff`.\n";
   rep
 
+(* --- brokerstat timelines --------------------------------------------- *)
+
+module Ts = Broker_obs.Timeseries
+module Sketch = Broker_obs.Sketch
+
+let quantile_points quantile pts =
+  let out = ref [] in
+  Array.iter
+    (fun (p : Ts.point) ->
+      match p.Ts.sketch with
+      | Some sk when p.Ts.count > 0 ->
+          out := (p.Ts.t_start, float_of_int (Sketch.quantile sk quantile)) :: !out
+      | _ -> ())
+    pts;
+  Array.of_list (List.rev !out)
+
+let timeline_report ?(name = "obs_timeline") () =
+  let rep = Report.create ~name () in
+  let s = Report.section rep "Observability - sim-time timelines" in
+  let with_data =
+    List.filter (fun ts -> Array.length (Ts.points ts) > 0) (Ts.all ())
+  in
+  let t =
+    Report.table s ~key:"series"
+      ~columns:
+        [
+          Report.col "Series";
+          Report.col "Window";
+          Report.col "Windows";
+          Report.col "Count";
+          Report.col "Sum";
+        ]
+      ()
+  in
+  List.iter
+    (fun ts ->
+      let pts = Ts.points ts in
+      let count = Array.fold_left (fun a (p : Ts.point) -> a + p.Ts.count) 0 pts in
+      let sum = Array.fold_left (fun a (p : Ts.point) -> a + p.Ts.sum) 0 pts in
+      Report.row t
+        [
+          Report.str (Ts.name ts);
+          Report.float ~decimals:3 (Ts.width ts);
+          Report.int (Array.length pts);
+          Report.int count;
+          Report.int sum;
+        ])
+    with_data;
+  (* Every series exports its per-window sums; windows that carry a
+     sketch additionally export p50/p99 timelines. All values are keyed
+     on sim-time — deterministic for a fixed seed/scale, so two runs
+     diff clean through `report diff` (wall-clock never enters here;
+     the Perfetto C events carry the volatile view). Sketched series
+     are in Timeseries fixed-point micro-units of sim-time. *)
+  List.iter
+    (fun ts ->
+      let pts = Ts.points ts in
+      Report.series s ~key:("ts." ^ Ts.name ts) ~x:"t" ~y:"sum" (Ts.values ts);
+      let p50 = quantile_points 0.5 pts in
+      if Array.length p50 > 0 then begin
+        Report.series s ~key:("ts." ^ Ts.name ts ^ ".p50") ~x:"t" ~y:"p50" p50;
+        Report.series s
+          ~key:("ts." ^ Ts.name ts ^ ".p99")
+          ~x:"t" ~y:"p99" (quantile_points 0.99 pts)
+      end)
+    with_data;
+  Report.note s
+    "Windowed series keyed on deterministic sim-time (brokerstat). \
+     Latency sketches are recorded in fixed-point micro-units of \
+     sim-time; divide by 1e6 for sim-time units.\n";
+  rep
+
+let timeline_to_json () = Report_json.to_string (timeline_report ())
 let to_text snap = Report_text.render (report snap)
 let to_json snap = Report_json.to_string (report snap)

@@ -18,3 +18,18 @@ val to_text : Broker_obs.Metrics.snapshot -> string
 
 val to_json : Broker_obs.Metrics.snapshot -> string
 (** The [brokerset-report/1] JSON artifact ([--metrics FILE]). *)
+
+val timeline_report : ?name:string -> unit -> Report.t
+(** Snapshot every registered {!Broker_obs.Timeseries} that holds data
+    into a one-section report ([name] defaults to ["obs_timeline"]):
+    a [Series | Window | Windows | Count | Sum] table, one
+    [ts.<series>] series of per-window [(t, sum)] points each, and
+    [ts.<series>.p50]/[.p99] timelines for windows carrying a latency
+    sketch (values in {!Broker_obs.Timeseries.fixed_point} micro-units
+    of sim-time). Everything is keyed on sim-time, hence deterministic
+    and gated by [report diff] — wall-clock stays in the volatile
+    trace/metrics channels. *)
+
+val timeline_to_json : unit -> string
+(** [timeline_report] as a [brokerset-report/1] JSON artifact
+    ([brokerctl simulate --timeline FILE]). *)

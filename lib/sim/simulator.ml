@@ -18,6 +18,37 @@ let m_breaker_trips = Obs.Metrics.counter "sim.breaker_trips"
 let g_queue_depth = Obs.Metrics.gauge "sim.queue.max_depth"
 let t_sim = Obs.Trace.scope "simulator.run"
 
+(* brokerstat timelines: windowed series keyed on the simulation clock,
+   collected only when [run ?stats_window] asks for them. Counter series
+   hold per-window event tallies; latency series additionally sketch
+   their samples in Timeseries fixed-point micro-units of sim-time.
+   All are deterministic for a fixed seed/scale — the window key is
+   sim-time, never wall-clock. *)
+let ts_admitted = Obs.Timeseries.series "sim.ts.admitted"
+let ts_delivered = Obs.Timeseries.series "sim.ts.delivered"
+let ts_rejected = Obs.Timeseries.series "sim.ts.rejected"
+let ts_lookups = Obs.Timeseries.series "sim.ts.cache.lookups"
+let ts_recomputes = Obs.Timeseries.series "sim.ts.cache.recomputes"
+let ts_queue_wait = Obs.Timeseries.series "sim.ts.latency.queue_wait"
+let ts_admission = Obs.Timeseries.series "sim.ts.latency.admission"
+let ts_failover = Obs.Timeseries.series "sim.ts.latency.failover"
+let ts_e2e = Obs.Timeseries.series "sim.ts.latency.e2e"
+
+let timeline_series =
+  [
+    ts_admitted;
+    ts_delivered;
+    ts_rejected;
+    ts_lookups;
+    ts_recomputes;
+    ts_queue_wait;
+    ts_admission;
+    ts_failover;
+    ts_e2e;
+  ]
+
+let timeline_names = List.map Obs.Timeseries.name timeline_series
+
 type config = {
   capacity_of : int -> float;
   price : float;
@@ -95,6 +126,8 @@ type live = {
   src : int;
   dst : int;
   demand : float;
+  arrived : float;  (* intended (open-loop) arrival, for e2e latency *)
+  admitted_at : float;  (* admission instant, for time-to-failover *)
   depart : float;
   rev_rate : float;  (* net revenue per unit time, for drop refunds *)
   mutable path_brokers : int array;
@@ -121,12 +154,24 @@ let validate ~n ~brokers config =
         invalid_arg "Simulator.run: capacity_of must be >= 0")
     brokers
 
-let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
-    ~sessions config =
+let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) ?stats_window topo
+    ~brokers ~sessions config =
   let tr0 = Obs.Trace.enter () in
   let g = topo.Broker_topo.Topology.graph in
   let n = G.n g in
   validate ~n ~brokers config;
+  (* Timeline collection is strictly opt-in: with [?stats_window] absent
+     not a single series is touched, so the default path stays
+     byte-identical (the timelines never feed back into admission). *)
+  let tl_on =
+    match stats_window with
+    | None -> false
+    | Some w ->
+        if Float.is_nan w || w <= 0.0 then
+          invalid_arg "Simulator.run: stats_window must be > 0";
+        List.iter (fun s -> Obs.Timeseries.restart ~window:w s) timeline_series;
+        true
+  in
   (match topo_churn with
   | None -> ()
   | Some tc ->
@@ -223,9 +268,11 @@ let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
   let tview = ref (Broker_graph.View.of_graph g) in
   let topo_applied = ref 0 in
   let topo_ignored = ref 0 in
-  let path_for src dst =
+  let path_for t src dst =
+    if tl_on then Obs.Timeseries.add ts_lookups ~time:t 1;
     Shard_cache.find pcache
       ~compute:(fun () ->
+        if tl_on then Obs.Timeseries.add ts_recomputes ~time:t 1;
         match
           Broker_core.Dominating.find_dominated_path_view !tview
             ~is_broker:is_broker_live src dst
@@ -312,14 +359,23 @@ let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
       in
       Event_queue.add events ~time:(t +. delay) (Retry (s, attempt + 1))
     end
-    else
-      match reason with
+    else begin
+      (match reason with
       | No_path -> incr rejected_no_path
       | Capacity -> incr rejected_capacity
-      | Shed -> incr rejected_shed
+      | Shed -> incr rejected_shed);
+      if tl_on then begin
+        Obs.Timeseries.add ts_rejected ~time:t 1;
+        (* Admission latency covers every finally-decided session —
+           open-loop discipline: measured from the intended arrival,
+           through however many backoff retries it took to conclude. *)
+        Obs.Timeseries.observe ts_admission ~time:t
+          (Obs.Timeseries.to_fp (t -. s.Workload.arrival))
+      end
+    end
   in
   let admit_session (s : Workload.session) t ~attempt =
-    match path_for s.Workload.src s.Workload.dst with
+    match path_for t s.Workload.src s.Workload.dst with
     | None -> blocked s t ~attempt ~reason:No_path
     | Some path ->
         let path_brokers = filter_live_brokers path in
@@ -347,12 +403,20 @@ let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
             -. (config.employee_cost *. float_of_int (2 * !employees) *. dt)
           in
           revenue := !revenue +. net;
+          if tl_on then begin
+            Obs.Timeseries.add ts_admitted ~time:t 1;
+            let wait = Obs.Timeseries.to_fp (t -. s.Workload.arrival) in
+            Obs.Timeseries.observe ts_queue_wait ~time:t wait;
+            Obs.Timeseries.observe ts_admission ~time:t wait
+          end;
           let l =
             {
               id = s.Workload.id;
               src = s.Workload.src;
               dst = s.Workload.dst;
               demand = s.Workload.demand;
+              arrived = s.Workload.arrival;
+              admitted_at = t;
               depart = t +. s.Workload.duration;
               rev_rate =
                 (if s.Workload.duration > 0.0 then net /. s.Workload.duration
@@ -399,7 +463,7 @@ let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
           let rerouted =
             failover_on
             &&
-            match path_for l.src l.dst with
+            match path_for t l.src l.dst with
             | None -> false
             | Some path ->
                 let pbs = filter_live_brokers path in
@@ -412,7 +476,13 @@ let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
           in
           if rerouted then begin
             incr failed_over;
-            Obs.Metrics.incr m_failovers
+            Obs.Metrics.incr m_failovers;
+            (* Time-to-failover: how long the session had been in
+               flight when the crash forced it onto an alternate
+               path. *)
+            if tl_on then
+              Obs.Timeseries.observe ts_failover ~time:t
+                (Obs.Timeseries.to_fp (t -. l.admitted_at))
           end
           else drop l t)
         affected
@@ -436,7 +506,14 @@ let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
           Array.iter (fun pb -> adjust pb t (-.l.demand)) l.path_brokers;
           l.active <- false;
           if has_chaos then Hashtbl.remove in_flight_tbl l.id;
-          decr in_flight
+          decr in_flight;
+          if tl_on then begin
+            Obs.Timeseries.add ts_delivered ~time:t 1;
+            (* End-to-end completion from the intended arrival: queue
+               wait (retries) plus the session's service time. *)
+            Obs.Timeseries.observe ts_e2e ~time:t
+              (Obs.Timeseries.to_fp (t -. l.arrived))
+          end
         end
     | Fault (Faults.Crash, b) ->
         Obs.Metrics.incr m_ev_fault;
@@ -507,6 +584,9 @@ let run ?chaos ?topo:topo_churn ?(cache = Shard_cache.Flush) topo ~brokers
   done;
   Obs.Metrics.gauge_max g_queue_depth (Event_queue.max_length events);
   Event_queue.clear events;
+  (* Close the timelines: the trailing still-open windows become
+     Perfetto counter samples when the trace ring is armed. *)
+  if tl_on then List.iter Obs.Timeseries.flush timeline_series;
   let horizon = !horizon in
   Array.iter
     (fun b ->

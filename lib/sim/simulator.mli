@@ -139,6 +139,31 @@ val delivered_rate : stats -> float
 (** Fraction of offered sessions admitted {e and} carried to completion:
     [(admitted − dropped_midflight) / offered]. *)
 
+val timeline_names : string list
+(** The windowed series [run ?stats_window] collects into the
+    {!Broker_obs.Timeseries} registry (restarted at each instrumented
+    run, so they always describe the latest one):
+
+    - [sim.ts.admitted] / [sim.ts.delivered] / [sim.ts.rejected] —
+      per-window admissions, completed departures, and terminal
+      rejections;
+    - [sim.ts.cache.lookups] / [sim.ts.cache.recomputes] — path-cache
+      traffic; a window's hit rate is [1 - recomputes/lookups], and
+      recompute spikes are re-convergence work after crashes or applied
+      topology updates;
+    - [sim.ts.latency.queue_wait] — admission instant minus intended
+      (open-loop) arrival, over admitted sessions;
+    - [sim.ts.latency.admission] — intended arrival to {e final}
+      decision (admit or terminal reject), over all decided sessions;
+    - [sim.ts.latency.failover] — session age when a crash forced it
+      onto an alternate path;
+    - [sim.ts.latency.e2e] — intended arrival to completed departure.
+
+    Latency series sketch their samples in
+    {!Broker_obs.Timeseries.fixed_point} micro-units of sim-time. All
+    series are keyed on sim-time and deterministic for a fixed
+    seed/scale. *)
+
 val stats_equal : stats -> stats -> bool
 (** Field-wise equality, [Float.equal] on floats (no polymorphic compare). *)
 
@@ -146,6 +171,7 @@ val run :
   ?chaos:chaos ->
   ?topo:topo_churn ->
   ?cache:Shard_cache.strategy ->
+  ?stats_window:float ->
   Broker_topo.Topology.t ->
   brokers:int array ->
   sessions:Workload.session array ->
@@ -156,7 +182,13 @@ val run :
     strategy (default {!Shard_cache.Flush}, the historical behavior);
     without faults every strategy admits the same sessions — only the
     cache outcome tallies may differ.
+
+    [?stats_window w] additionally collects the {!timeline_names}
+    series with window width [w] (sim-time units). Collection is
+    passive — it never feeds back into admission — so [stats] and
+    every golden are byte-identical with or without it; with the
+    option absent no series is touched at all.
     @raise Invalid_argument on out-of-order arrivals, negative [price],
     [employee_cost] or [capacity_of], an out-of-range broker or topology
-    update endpoint, or an invalid cache strategy ([Ring] with
-    [vnodes < 1]). *)
+    update endpoint, an invalid cache strategy ([Ring] with
+    [vnodes < 1]), or a non-positive [stats_window]. *)

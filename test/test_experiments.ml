@@ -208,6 +208,60 @@ let test_ext_churn_cache_rows () =
         check_int (r.R.strategy ^ " never flushes") 0 r.R.flushed)
     sims
 
+(* X10: brokerstat phase timelines. *)
+let test_ext_timeline_rows () =
+  let module R = E.Ext_timeline in
+  let run () = R.compute ~n_sessions:500 (tiny_ctx ()) in
+  let r = run () in
+  check_bool "horizon positive" true (r.R.horizon > 0.0);
+  check_bool "window is horizon/40" true
+    (Float.abs (r.R.window -. (r.R.horizon /. 40.0)) < 1e-9);
+  check_int "two kinds x three phases of latency rows"
+    (2 * List.length R.phase_names)
+    (List.length r.R.latencies);
+  List.iter
+    (fun (row : R.latency_row) ->
+      check_bool "samples non-negative" true (row.R.samples >= 0);
+      check_bool "p50 <= p90" true (row.R.p50 <= row.R.p90 +. 1e-9);
+      check_bool "p90 <= p99" true (row.R.p90 <= row.R.p99 +. 1e-9);
+      check_bool "p99 <= p99.9" true (row.R.p99 <= row.R.p999 +. 1e-9))
+    r.R.latencies;
+  (* Every delivered session contributes exactly one e2e sample. *)
+  let e2e_samples =
+    List.fold_left
+      (fun acc (row : R.latency_row) ->
+        if String.equal row.R.kind "e2e" then acc + row.R.samples else acc)
+      0 r.R.latencies
+  in
+  let s = r.R.stats in
+  check_int "e2e samples = delivered sessions"
+    (s.Broker_sim.Simulator.admitted
+    - s.Broker_sim.Simulator.dropped_midflight)
+    e2e_samples;
+  check_bool "throughput rows in phase order" true
+    (List.map (fun (row : R.throughput_row) -> row.R.tp_phase) r.R.throughput
+    = R.phase_names);
+  List.iter
+    (fun (row : R.throughput_row) ->
+      check_bool "duration positive" true (row.R.duration > 0.0);
+      check_bool "rates non-negative" true
+        (row.R.admitted_rate >= 0.0
+        && row.R.delivered_rate >= 0.0
+        && row.R.rejected_rate >= 0.0);
+      check_bool "hit rate in [0,1]" true
+        (row.R.hit_rate >= 0.0 && row.R.hit_rate <= 1.0);
+      check_bool "recomputes non-negative" true (row.R.recomputes >= 0))
+    r.R.throughput;
+  check_bool "recovery after the all-clear" true
+    (Float.is_nan r.R.recovery_time || r.R.recovery_time >= 0.0);
+  check_bool "delivered series present" true
+    (Array.length r.R.delivered_series > 0);
+  (* Bitwise determinism: identical results on a fresh identically-seeded
+     context, and independent of the domain count. *)
+  let d1 = with_domains "1" run and d4 = with_domains "4" run in
+  check_bool "seed-deterministic" true (compare r d1 = 0);
+  check_bool "identical across REPRO_DOMAINS" true (compare d1 d4 = 0)
+
 let test_all_experiments_run () =
   let ctx = tiny_ctx () in
   let reports = with_quiet_stdout (fun () -> E.All.run_all ctx) in
@@ -248,6 +302,7 @@ let suite =
         Alcotest.test_case "fig3" `Quick test_fig3_correlation_decays;
         Alcotest.test_case "ext_chaos" `Quick test_ext_chaos_rows;
         Alcotest.test_case "ext_churn_cache" `Quick test_ext_churn_cache_rows;
+        Alcotest.test_case "ext_timeline" `Quick test_ext_timeline_rows;
         Alcotest.test_case "lookup unknown" `Quick test_run_one_unknown;
         Alcotest.test_case "find" `Quick test_find;
       ] );

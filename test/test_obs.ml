@@ -191,6 +191,212 @@ let test_counter_determinism () =
   check_bool "snapshot is non-trivial" true
     (List.exists (fun line -> contains ~needle:"bfs.runs=" line) s1)
 
+(* ---------- quantile sketch ---------- *)
+
+module Sketch = Obs.Sketch
+module Ts = Obs.Timeseries
+module X = Broker_util.Xrandom
+
+let test_sketch_index () =
+  (* sub_bits = 0 degenerates to the historical histogram bucketing. *)
+  List.iter
+    (fun v ->
+      check_int
+        (Printf.sprintf "index_at ~sub_bits:0 %d = bucket_of" v)
+        (Metrics.bucket_of v)
+        (Sketch.index_at ~sub_bits:0 v))
+    [ min_int; -3; 0; 1; 2; 3; 4; 7; 8; 1023; 1024; max_int ];
+  let sk = Sketch.create () in
+  check_int "default cells" ((63 - 5) * 32) (Sketch.cells sk);
+  (* Below 2^sub_bits every value owns its cell exactly. *)
+  for v = 0 to 31 do
+    check_int "exact-region index" v (Sketch.index sk v);
+    check_int "exact-region lower bound" v (Sketch.lower_bound sk v)
+  done;
+  (* lower_bound inverts index: the cell holding v starts at or below v
+     and the next cell starts strictly above it. *)
+  List.iter
+    (fun v ->
+      let i = Sketch.index sk v in
+      check_bool "cell starts at or below v" true (Sketch.lower_bound sk i <= v);
+      if i + 1 < Sketch.cells sk then
+        check_bool "next cell starts above v" true
+          (v < Sketch.lower_bound sk (i + 1)))
+    [ 31; 32; 33; 100; 1000; 65535; 65536; 123_456_789; max_int / 2; max_int ]
+
+let q_test ?(count = 60) name arb law =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb law)
+
+(* The documented bound against the exact oracle: pick integral ranks
+   (q = j/(n-1)) so Broker_util.Stats.quantile degenerates to the exact
+   order statistic v, then l <= v < l * (1 + 2^-sub_bits). *)
+let sketch_quantile_vs_oracle =
+  q_test "sketch quantile within documented bound of Stats.quantile"
+    QCheck.(pair (int_range 0 100_000) (int_range 2 400))
+    (fun (seed, n) ->
+      let rng = X.create seed in
+      let xs = Array.init n (fun _ -> X.int rng 1_000_000) in
+      let sk = Sketch.create () in
+      Array.iter (Sketch.record sk) xs;
+      let fs = Array.map float_of_int xs in
+      let ranks = [ 0; (n - 1) / 4; (n - 1) / 2; n - 2; n - 1 ] in
+      List.for_all
+        (fun j ->
+          let q = float_of_int j /. float_of_int (n - 1) in
+          let oracle = Broker_util.Stats.quantile fs q in
+          let l = float_of_int (Sketch.quantile sk q) in
+          l <= oracle +. 1e-6 && oracle < (l *. (1.0 +. (1.0 /. 32.0))) +. 1e-6)
+        ranks)
+
+let sketch_merge_laws =
+  q_test "sketch merge is commutative and associative"
+    QCheck.(triple (int_range 0 100_000) (int_range 1 300) (int_range 1 300))
+    (fun (seed, na, nb) ->
+      let mk seed n =
+        let rng = X.create seed in
+        let sk = Sketch.create () in
+        for _ = 1 to n do
+          Sketch.record sk (X.int rng 1_000_000)
+        done;
+        sk
+      in
+      let a () = mk seed na
+      and b () = mk (seed + 1) nb
+      and c () = mk (seed + 2) (na + nb) in
+      let ab = a () in
+      Sketch.merge ~into:ab (b ());
+      let ba = b () in
+      Sketch.merge ~into:ba (a ());
+      let commutes = Sketch.counts ab = Sketch.counts ba in
+      let abc = ab in
+      Sketch.merge ~into:abc (c ());
+      let bc = b () in
+      Sketch.merge ~into:bc (c ());
+      let a_bc = a () in
+      Sketch.merge ~into:a_bc bc;
+      commutes
+      && Sketch.counts abc = Sketch.counts a_bc
+      && Sketch.count abc = na + nb + (na + nb))
+
+let test_sketch_percentiles_into () =
+  let sk = Sketch.create () in
+  for v = 0 to 999 do
+    Sketch.record sk v
+  done;
+  let qs = [| 0.0; 0.25; 0.5; 0.9; 1.0 |] in
+  let out = Array.make (Array.length qs) (-1) in
+  Sketch.percentiles_into sk qs out;
+  Array.iteri
+    (fun i q ->
+      check_int
+        (Printf.sprintf "percentiles_into agrees with quantile at %g" q)
+        (Sketch.quantile sk q) out.(i))
+    qs;
+  for i = 1 to Array.length out - 1 do
+    check_bool "percentiles ascend" true (out.(i - 1) <= out.(i))
+  done;
+  check_bool "non-ascending qs rejected" true
+    (try
+       Sketch.percentiles_into sk [| 0.5; 0.25 |] (Array.make 2 0);
+       false
+     with Invalid_argument _ -> true);
+  check_bool "shape mismatch on merge rejected" true
+    (try
+       Sketch.merge ~into:(Sketch.create ~sub_bits:4 ()) sk;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "quantile out of range rejected" true
+    (try
+       ignore (Sketch.quantile sk 1.5);
+       false
+     with Invalid_argument _ -> true);
+  check_int "empty sketch quantile is 0" 0
+    (Sketch.quantile (Sketch.create ()) 0.5)
+
+(* ---------- windowed time series ---------- *)
+
+let test_timeseries_windows () =
+  let ts = Ts.series ~window:2.0 "test.obs.ts.windows" in
+  check_bool "registration is idempotent" true
+    (ts == Ts.series "test.obs.ts.windows");
+  Alcotest.(check (float 1e-9)) "width from first registration" 2.0 (Ts.width ts);
+  Ts.restart ~window:0.5 ts;
+  Alcotest.(check (float 1e-9)) "restart re-windows" 0.5 (Ts.width ts);
+  check_int "restart clears data" 0 (Array.length (Ts.points ts));
+  Ts.add ts ~time:0.2 3;
+  Ts.add ts ~time:0.3 1;
+  Ts.add ts ~time:1.7 5;
+  let pts = Ts.points ts in
+  (* Dense layout: windows 0..3 even though window 1 and 2 are empty. *)
+  check_int "dense up to the last active window" 4 (Array.length pts);
+  check_int "window 0 count" 2 pts.(0).Ts.count;
+  check_int "window 0 sum" 4 pts.(0).Ts.sum;
+  check_int "empty window count" 0 pts.(1).Ts.count;
+  check_int "window 3 sum" 5 pts.(3).Ts.sum;
+  Alcotest.(check (float 1e-9)) "window 3 starts at 1.5" 1.5
+    pts.(3).Ts.t_start;
+  check_bool "plain add carries no sketch" true (pts.(0).Ts.sketch = None);
+  let vals = Ts.values ts in
+  check_int "values mirror points" 4 (Array.length vals);
+  check_bool "values carry sums" true (vals = [| (0.0, 4.0); (0.5, 0.0); (1.0, 0.0); (1.5, 5.0) |]);
+  (* observe sketches its samples; fixed-point round-trips. *)
+  let lat = Ts.series ~window:1.0 "test.obs.ts.latency" in
+  Ts.restart lat;
+  Ts.observe lat ~time:0.1 (Ts.to_fp 0.25);
+  Ts.observe lat ~time:0.2 (Ts.to_fp 0.5);
+  let lp = (Ts.points lat).(0) in
+  check_int "observed count" 2 lp.Ts.count;
+  (match lp.Ts.sketch with
+  | None -> Alcotest.fail "observe must attach a sketch"
+  | Some sk ->
+      Alcotest.(check (float 1e-3)) "sketched p100 round-trips" 0.5
+        (Ts.of_fp (Sketch.quantile sk 1.0)));
+  check_bool "negative time rejected" true
+    (try
+       Ts.add ts ~time:(-1.0) 1;
+       false
+     with Invalid_argument _ -> true);
+  check_bool "non-positive window rejected" true
+    (try
+       ignore (Ts.series ~window:0.0 "test.obs.ts.bad");
+       false
+     with Invalid_argument _ -> true);
+  check_bool "registry lists by name" true
+    (List.exists
+       (fun t -> String.equal (Ts.name t) "test.obs.ts.windows")
+       (Ts.all ()))
+
+(* Window flushes emit Perfetto counter samples ("C" events) when the
+   trace ring is armed. *)
+let test_timeseries_trace_counters () =
+  with_obs_state @@ fun () ->
+  Control.set_enabled true;
+  Trace.arm ~capacity:256 ();
+  let ts = Ts.series ~window:1.0 "test.obs.ts.counters" in
+  Ts.restart ts;
+  Ts.add ts ~time:0.5 2;
+  Ts.add ts ~time:1.5 3;
+  Ts.add ts ~time:2.5 4;
+  Ts.flush ts;
+  match Broker_report.Report_json.json_of_string (Trace.to_chrome_json ()) with
+  | Error msg -> Alcotest.fail ("trace is not valid JSON: " ^ msg)
+  | Ok doc -> (
+      match field "traceEvents" doc with
+      | Some (Broker_report.Report_json.List events) ->
+          let c_events =
+            List.filter
+              (fun ev ->
+                match (field "ph" ev, field "name" ev) with
+                | ( Some (Broker_report.Report_json.Str "C"),
+                    Some (Broker_report.Report_json.Str name) ) ->
+                    String.equal name "test.obs.ts.counters"
+                | _ -> false)
+              events
+          in
+          check_int "one counter sample per closed window" 3
+            (List.length c_events)
+      | _ -> Alcotest.fail "no traceEvents array")
+
 let suite =
   [
     ( "obs",
@@ -204,5 +410,21 @@ let suite =
         Alcotest.test_case "Chrome trace JSON" `Quick test_chrome_trace_json;
         Alcotest.test_case "counter determinism" `Quick
           test_counter_determinism;
+      ] );
+    ( "obs.sketch",
+      [
+        Alcotest.test_case "index edges & histogram parity" `Quick
+          test_sketch_index;
+        sketch_quantile_vs_oracle;
+        sketch_merge_laws;
+        Alcotest.test_case "percentiles_into & validation" `Quick
+          test_sketch_percentiles_into;
+      ] );
+    ( "obs.timeseries",
+      [
+        Alcotest.test_case "window assignment & restart" `Quick
+          test_timeseries_windows;
+        Alcotest.test_case "Perfetto counter samples" `Quick
+          test_timeseries_trace_counters;
       ] );
   ]

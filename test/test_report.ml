@@ -178,6 +178,8 @@ let suite =
           (test_text_golden "ext_churn_cache");
         Alcotest.test_case "ext_reconverge" `Quick
           (test_text_golden "ext_reconverge");
+        Alcotest.test_case "ext_timeline" `Quick
+          (test_text_golden "ext_timeline");
       ] );
     ( "report.diff",
       [

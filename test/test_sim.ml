@@ -190,6 +190,61 @@ let test_sim_utilization_bounds () =
   check_int "accounting adds up" stats.Sim.offered
     (stats.Sim.admitted + stats.Sim.rejected_no_path + stats.Sim.rejected_capacity)
 
+(* ---------- brokerstat timelines (?stats_window) ---------- *)
+
+module Ts = Broker_obs.Timeseries
+
+let test_sim_stats_window () =
+  let t = small_internet ~seed:3 ~scale:0.01 () in
+  let g = t.Broker_topo.Topology.graph in
+  let brokers = Broker_core.Maxsg.run g ~k:15 in
+  let model = Broker_core.Traffic.gravity ~rng:(rng ()) g in
+  let sessions =
+    Workload.generate ~rng:(rng ()) model ~n_sessions:400 Workload.default_params
+  in
+  let config = Sim.degree_capacity g ~factor:0.2 in
+  Alcotest.check_raises "non-positive window"
+    (Invalid_argument "Simulator.run: stats_window must be > 0") (fun () ->
+      ignore (Sim.run ~stats_window:0.0 t ~brokers ~sessions config));
+  (* Collection is passive: stats are identical with and without it. *)
+  let plain = Sim.run t ~brokers ~sessions config in
+  let timed = Sim.run ~stats_window:5.0 t ~brokers ~sessions config in
+  check_bool "collection never feeds back" true (Sim.stats_equal plain timed);
+  List.iter
+    (fun name ->
+      check_bool (name ^ " registered") true
+        (List.exists (fun ts -> String.equal (Ts.name ts) name) (Ts.all ())))
+    Sim.timeline_names;
+  let find name =
+    List.find (fun ts -> String.equal (Ts.name ts) name) (Ts.all ())
+  in
+  let total name =
+    Array.fold_left
+      (fun acc (p : Ts.point) -> acc + p.Ts.sum)
+      0
+      (Ts.points (find name))
+  in
+  check_int "windowed admissions total the stats" timed.Sim.admitted
+    (total "sim.ts.admitted");
+  check_int "windowed deliveries total the stats" timed.Sim.admitted
+    (total "sim.ts.delivered");
+  check_int "windowed rejections total the stats"
+    (timed.Sim.rejected_no_path + timed.Sim.rejected_capacity)
+    (total "sim.ts.rejected");
+  check_int "windowed lookups total the cache stats"
+    timed.Sim.cache.Broker_sim.Shard_cache.lookups
+    (total "sim.ts.cache.lookups");
+  (* Without chaos nobody waits: admission happens at the intended
+     arrival instant, so the queue-wait series is all zeros while the
+     e2e series carries one sample per delivered session. *)
+  let e2e = find "sim.ts.latency.e2e" in
+  let samples =
+    Array.fold_left (fun acc (p : Ts.point) -> acc + p.Ts.count) 0 (Ts.points e2e)
+  in
+  check_int "one e2e sample per delivered session" timed.Sim.admitted samples;
+  check_int "no queue wait without chaos" 0
+    (total "sim.ts.latency.queue_wait")
+
 (* ---------- Event_queue clear & tie-break ---------- *)
 
 let test_eq_clear () =
@@ -881,6 +936,8 @@ let suite =
         Alcotest.test_case "employee hops" `Quick test_sim_employee_hops;
         Alcotest.test_case "unsorted rejected" `Quick test_sim_unsorted_rejected;
         Alcotest.test_case "utilization bounds" `Quick test_sim_utilization_bounds;
+        Alcotest.test_case "stats_window timelines" `Quick
+          test_sim_stats_window;
       ] );
     ( "sim.chaos",
       [
